@@ -1,0 +1,617 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus mechanism microbenchmarks and ablations of the
+// design choices DESIGN.md calls out.
+//
+// Two kinds of numbers appear here:
+//
+//   - go-test ns/op measures the *real* cost of the reproduced
+//     mechanisms (deploying a UC really is a root-node copy; capturing
+//     a snapshot really walks the dirty list), and
+//   - ReportMetric values labeled vms/op, req/s, etc. are *virtual*
+//     time results — the quantities the paper's tables report.
+package seuss
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"seuss/internal/cluster"
+	"seuss/internal/core"
+	"seuss/internal/costs"
+	"seuss/internal/experiments"
+	"seuss/internal/faas"
+	"seuss/internal/libos"
+	"seuss/internal/mem"
+	"seuss/internal/sim"
+	"seuss/internal/snapshot"
+	"seuss/internal/uc"
+	"seuss/internal/workload"
+)
+
+func vms(b *testing.B, name string, d time.Duration) {
+	b.ReportMetric(float64(d.Microseconds())/1000, name)
+}
+
+// buildRuntimeSnapshot performs system initialization with full AO.
+func buildRuntimeSnapshot(b *testing.B, st *mem.Store) *snapshot.Snapshot {
+	b.Helper()
+	env := &libos.CountingEnv{}
+	boot, err := uc.BootFresh(st, nil, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := boot.Guest().Unikernel().WarmNetwork(); err != nil {
+		b.Fatal(err)
+	}
+	if err := boot.Guest().WarmInterpreter(); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := boot.Capture("runtime", uc.TriggerPCDriverListen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+// ---- Table 1: invocation latency and snapshot sizes ----
+
+func BenchmarkTable1Invocations(b *testing.B) {
+	for _, path := range []string{"cold", "warm", "hot"} {
+		b.Run(path, func(b *testing.B) {
+			st := mem.NewStore(0)
+			runtime := buildRuntimeSnapshot(b, st)
+
+			// Build the per-path starting state once.
+			coldUC := func(env *libos.CountingEnv) *uc.UC {
+				u, err := uc.Deploy(runtime, nil, env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := u.Guest().Connect(); err != nil {
+					b.Fatal(err)
+				}
+				return u
+			}
+			var fnSnap *snapshot.Snapshot
+			{
+				env := &libos.CountingEnv{}
+				u := coldUC(env)
+				if err := u.Guest().ImportAndCompile(workload.NOPSource); err != nil {
+					b.Fatal(err)
+				}
+				s, err := u.Capture("fn/nop", uc.TriggerPCPostCompile)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fnSnap = s
+			}
+
+			var virt time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env := &libos.CountingEnv{}
+				switch path {
+				case "cold":
+					u := coldUC(env)
+					if err := u.Guest().ImportAndCompile(workload.NOPSource); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := u.Capture(fmt.Sprintf("fn/%d", i), uc.TriggerPCPostCompile); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := u.Guest().Invoke(`{}`); err != nil {
+						b.Fatal(err)
+					}
+					virt += env.Elapsed()
+					u.Destroy()
+				case "warm":
+					u, err := uc.Deploy(fnSnap, nil, env)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := u.Guest().Connect(); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := u.Guest().Invoke(`{}`); err != nil {
+						b.Fatal(err)
+					}
+					virt += env.Elapsed()
+					u.Destroy()
+				case "hot":
+					u, err := uc.Deploy(fnSnap, nil, env)
+					if err != nil {
+						b.Fatal(err)
+					}
+					u.Guest().Connect()
+					u.Guest().Invoke(`{}`) // first invocation warms the UC
+					h0 := env.Elapsed()
+					if _, err := u.Guest().Invoke(`{}`); err != nil {
+						b.Fatal(err)
+					}
+					virt += env.Elapsed() - h0
+					u.Destroy()
+				}
+			}
+			b.StopTimer()
+			vms(b, "vms/op", virt/time.Duration(b.N))
+		})
+	}
+}
+
+func BenchmarkTable1SnapshotSizes(b *testing.B) {
+	var baseMB, fnMB float64
+	for i := 0; i < b.N; i++ {
+		st := mem.NewStore(0)
+		runtime := buildRuntimeSnapshot(b, st)
+		env := &libos.CountingEnv{}
+		u, err := uc.Deploy(runtime, nil, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u.Guest().Connect()
+		if err := u.Guest().ImportAndCompile(workload.NOPSource); err != nil {
+			b.Fatal(err)
+		}
+		fn, err := u.Capture("fn/nop", uc.TriggerPCPostCompile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseMB = float64(runtime.DiffBytes()) / 1e6
+		fnMB = float64(fn.DiffBytes()) / 1e6
+	}
+	b.ReportMetric(baseMB, "baseMB")
+	b.ReportMetric(fnMB, "fnMB")
+}
+
+// ---- Table 2: AO ablation ----
+
+func BenchmarkTable2AO(b *testing.B) {
+	for _, lvl := range []struct {
+		name     string
+		net, itp bool
+	}{{"no-ao", false, false}, {"network-ao", true, false}, {"full-ao", true, true}} {
+		b.Run(lvl.name, func(b *testing.B) {
+			var cold, warm time.Duration
+			for i := 0; i < b.N; i++ {
+				st := mem.NewStore(0)
+				env := &libos.CountingEnv{}
+				boot, err := uc.BootFresh(st, nil, env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lvl.net {
+					boot.Guest().Unikernel().WarmNetwork()
+				}
+				if lvl.itp {
+					boot.Guest().WarmInterpreter()
+				}
+				runtime, err := boot.Capture("runtime", uc.TriggerPCDriverListen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coldEnv := &libos.CountingEnv{}
+				u, err := uc.Deploy(runtime, nil, coldEnv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				u.Guest().Connect()
+				u.Guest().ImportAndCompile(workload.NOPSource)
+				fn, err := u.Capture("fn", uc.TriggerPCPostCompile)
+				if err != nil {
+					b.Fatal(err)
+				}
+				u.Guest().Invoke(`{}`)
+				cold = coldEnv.Elapsed()
+
+				warmEnv := &libos.CountingEnv{}
+				w, err := uc.Deploy(fn, nil, warmEnv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Guest().Connect()
+				w.Guest().Invoke(`{}`)
+				warm = warmEnv.Elapsed()
+			}
+			vms(b, "cold_vms", cold)
+			vms(b, "warm_vms", warm)
+		})
+	}
+}
+
+// ---- Table 3: density and creation rates ----
+
+func BenchmarkTable3Density(b *testing.B) {
+	var density float64
+	for i := 0; i < b.N; i++ {
+		t3, err := experiments.RunTable3(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range t3.Rows {
+			if row.Method == "SEUSS UC" {
+				density = float64(row.Density)
+			}
+		}
+	}
+	b.ReportMetric(density, "UCs")
+}
+
+func BenchmarkTable3CreationRate(b *testing.B) {
+	// UC deployment rate through the shim, 16-way (Table 3: 128.6/s).
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		node, err := core.NewNode(eng, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		shim := sim.NewResource(eng, 1)
+		created := 0
+		for w := 0; w < costs.NodeCores; w++ {
+			eng.Go("deploy", func(p *sim.Proc) {
+				for j := 0; j < 20; j++ {
+					shim.Acquire(p)
+					p.Sleep(costs.ShimSerialize)
+					shim.Release()
+					if _, err := node.DeployIdle(p); err != nil {
+						return
+					}
+					created++
+				}
+			})
+		}
+		eng.Run()
+		rate = float64(created) / time.Duration(eng.Now()).Seconds()
+	}
+	b.ReportMetric(rate, "UCs/s")
+}
+
+// ---- Figure 4: platform throughput ----
+
+func BenchmarkFigure4Throughput(b *testing.B) {
+	for _, m := range []int{64, 1024, 8192} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			var seussRPS, linuxRPS float64
+			for i := 0; i < b.N; i++ {
+				f, err := experiments.RunFigure4(experiments.Figure4Config{
+					SetSizes: []int{m}, N: 400, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				seussRPS = f.Points[0].SeussPerSec
+				linuxRPS = f.Points[0].LinuxPerSec
+			}
+			b.ReportMetric(seussRPS, "seuss_rps")
+			b.ReportMetric(linuxRPS, "linux_rps")
+		})
+	}
+}
+
+// ---- Figure 5: latency percentiles ----
+
+func BenchmarkFigure5Latency(b *testing.B) {
+	var p50, p99 float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFigure5([]int{64}, 300, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.Rows {
+			if r.Backend == "seuss" {
+				p50 = float64(r.Summary.P50.Microseconds()) / 1000
+				p99 = float64(r.Summary.P99.Microseconds()) / 1000
+			}
+		}
+	}
+	b.ReportMetric(p50, "seuss_p50ms")
+	b.ReportMetric(p99, "seuss_p99ms")
+}
+
+// ---- Figures 6-8: burst resiliency ----
+
+func benchBurst(b *testing.B, period time.Duration) {
+	var linuxErrs, seussErrs float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunBurst(experiments.BurstConfig{
+			Period:  period,
+			Bursts:  6,
+			Threads: 64,
+			Seed:    1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		linuxErrs = float64(f.Linux.BackgroundErrors + f.Linux.BurstErrors)
+		seussErrs = float64(f.Seuss.BackgroundErrors + f.Seuss.BurstErrors)
+	}
+	b.ReportMetric(linuxErrs, "linux_errors")
+	b.ReportMetric(seussErrs, "seuss_errors")
+}
+
+func BenchmarkFigure6Burst32(b *testing.B) { benchBurst(b, 32*time.Second) }
+func BenchmarkFigure7Burst16(b *testing.B) { benchBurst(b, 16*time.Second) }
+func BenchmarkFigure8Burst8(b *testing.B)  { benchBurst(b, 8*time.Second) }
+
+// ---- Mechanism microbenchmarks (real wall time) ----
+
+func BenchmarkUCDeployRealTime(b *testing.B) {
+	st := mem.NewStore(0)
+	runtime := buildRuntimeSnapshot(b, st)
+	env := &libos.CountingEnv{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := uc.Deploy(runtime, nil, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		u.Destroy()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkSnapshotCaptureRealTime(b *testing.B) {
+	st := mem.NewStore(0)
+	runtime := buildRuntimeSnapshot(b, st)
+	env := &libos.CountingEnv{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u, err := uc.Deploy(runtime, nil, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u.Guest().Connect()
+		u.Guest().ImportAndCompile(workload.NOPSource)
+		b.StartTimer()
+		if _, err := u.Capture(fmt.Sprintf("fn/%d", i), uc.TriggerPCPostCompile); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		u.Destroy()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkPageFaultRealTime(b *testing.B) {
+	st := mem.NewStore(0)
+	runtime := buildRuntimeSnapshot(b, st)
+	env := &libos.CountingEnv{}
+	u, err := uc.Deploy(runtime, nil, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := u.Space()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Demand-zero fault on a fresh page.
+		if err := space.Touch(uint64(0x4000_0000_0000) + uint64(i)*mem.PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpreterNOP(b *testing.B) {
+	st := mem.NewStore(0)
+	runtime := buildRuntimeSnapshot(b, st)
+	env := &libos.CountingEnv{}
+	u, err := uc.Deploy(runtime, nil, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u.Guest().Connect()
+	u.Guest().ImportAndCompile(workload.NOPSource)
+	u.Guest().Invoke(`{}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Guest().Invoke(`{}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblationStackDepth shows deploy cost is independent of
+// snapshot-stack depth: the shallow copy touches only the root node.
+func BenchmarkAblationStackDepth(b *testing.B) {
+	for _, depth := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			st := mem.NewStore(0)
+			snap := buildRuntimeSnapshot(b, st)
+			env := &libos.CountingEnv{}
+			for d := 1; d < depth; d++ {
+				u, err := uc.Deploy(snap, nil, env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				u.Guest().Connect()
+				u.Space().Touch(uint64(0x5000_0000_0000) + uint64(d)*mem.PageSize)
+				next, err := u.Capture(fmt.Sprintf("layer/%d", d), uc.TriggerPCPostCompile)
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap = next
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u, err := uc.Deploy(snap, nil, env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				u.Destroy()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPageFaultCost sweeps the modeled per-fault cost and
+// reports warm-start latency: the knob AO's diff-shrinking leverages.
+func BenchmarkAblationPageFaultCost(b *testing.B) {
+	orig := costs.PageFault
+	defer func() { costs.PageFault = orig }()
+	for _, pf := range []time.Duration{500 * time.Nanosecond, 1500 * time.Nanosecond, 4 * time.Microsecond} {
+		b.Run(pf.String(), func(b *testing.B) {
+			costs.PageFault = pf
+			var warm time.Duration
+			for i := 0; i < b.N; i++ {
+				st := mem.NewStore(0)
+				runtime := buildRuntimeSnapshot(b, st)
+				env := &libos.CountingEnv{}
+				u, _ := uc.Deploy(runtime, nil, env)
+				u.Guest().Connect()
+				u.Guest().ImportAndCompile(workload.NOPSource)
+				fn, err := u.Capture("fn", uc.TriggerPCPostCompile)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wEnv := &libos.CountingEnv{}
+				w, _ := uc.Deploy(fn, nil, wEnv)
+				w.Guest().Connect()
+				w.Guest().Invoke(`{}`)
+				warm = wEnv.Elapsed()
+			}
+			vms(b, "warm_vms", warm)
+		})
+	}
+}
+
+// BenchmarkAblationBridgeEndpoints reports the bridge drop probability
+// across endpoint counts — the Linux container cache's hard wall.
+func BenchmarkAblationBridgeEndpoints(b *testing.B) {
+	for _, n := range []int{512, 1024, 2048, 3000} {
+		b.Run(fmt.Sprintf("endpoints=%d", n), func(b *testing.B) {
+			var p float64
+			for i := 0; i < b.N; i++ {
+				eng := faas.NewLinuxBackend(sim.NewEngine(), faas.LinuxConfig{Seed: 1})
+				bridge := eng.Bridge()
+				for j := 0; j < n; j++ {
+					bridge.Attach()
+				}
+				p = bridge.DropProbability()
+			}
+			b.ReportMetric(p*100, "drop%")
+		})
+	}
+}
+
+// BenchmarkAblationOOMThreshold sweeps the idle-UC reclaim threshold on
+// a memory-tight node and reports reclaim counts.
+func BenchmarkAblationOOMThreshold(b *testing.B) {
+	for _, thr := range []float64{0.01, 0.05, 0.15} {
+		b.Run(fmt.Sprintf("thr=%.2f", thr), func(b *testing.B) {
+			var reclaimed float64
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				cfg := core.DefaultConfig()
+				cfg.MemoryBytes = 170 << 20
+				cfg.OOMThreshold = thr
+				node, err := core.NewNode(eng, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for f := 0; f < 20; f++ {
+					req := core.Request{Key: fmt.Sprintf("fn%02d", f), Source: workload.NOPSource, Args: "{}"}
+					eng.Go("client", func(p *sim.Proc) { node.Invoke(p, req) })
+					eng.Run()
+				}
+				reclaimed = float64(node.Stats().UCsReclaimed)
+			}
+			b.ReportMetric(reclaimed, "reclaimed")
+		})
+	}
+}
+
+// BenchmarkAblationKSMScan runs a KSM-style dedup scan over a node
+// that has cached several function snapshots: §5's claim that SEUSS's
+// structural (snapshot-stack) sharing leaves retroactive deduplication
+// little to find. Reported: duplicate bytes a KSM pass could still
+// merge, against the total materialized bytes.
+func BenchmarkAblationKSMScan(b *testing.B) {
+	var dupMB, scannedMB float64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		scanner := mem.NewScanner()
+		cfg := core.DefaultConfig()
+		node, err := core.NewNode(eng, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		node.Store().AttachScanner(scanner)
+		for f := 0; f < 10; f++ {
+			req := core.Request{
+				Key:    fmt.Sprintf("user%02d/fn", f),
+				Source: workload.NOPSource,
+				Args:   "{}",
+			}
+			eng.Go("client", func(p *sim.Proc) {
+				if _, err := node.Invoke(p, req); err != nil {
+					b.Error(err)
+				}
+			})
+			eng.Run()
+		}
+		stats := scanner.Scan()
+		dupMB = float64(stats.DuplicateBytes) / 1e6
+		scannedMB = float64(node.MemStats().BytesInUse) / 1e6
+	}
+	// A KSM pass over the whole node finds only the few content-bearing
+	// duplicate pages (identical imported sources across tenants);
+	// everything else is already shared structurally through snapshot
+	// stacks or is an implicit zero page.
+	b.ReportMetric(dupMB, "ksm_mergeable_MB")
+	b.ReportMetric(scannedMB, "node_in_use_MB")
+}
+
+// BenchmarkClusterColdOnce measures DR-SEUSS (§9): with N nodes and a
+// shared snapshot directory, a stream of unique functions goes cold
+// once per cluster instead of once per node, and aggregate throughput
+// scales with members.
+func BenchmarkClusterColdOnce(b *testing.B) {
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				cfg := cluster.Config{Nodes: nodes}
+				cfg.NodeConfig = core.DefaultConfig()
+				cfg.NodeConfig.Cores = 4
+				cl, err := cluster.New(eng, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				queue := sim.NewQueue(eng)
+				const total = 96
+				for j := 0; j < total; j++ {
+					queue.Put(core.Request{
+						Key:    fmt.Sprintf("u%03d/fn", j),
+						Source: workload.CPUBoundSource(40),
+						Args:   "{}",
+					})
+				}
+				queue.Close()
+				for w := 0; w < 16; w++ {
+					eng.Go("w", func(p *sim.Proc) {
+						for {
+							v, ok := queue.Get(p)
+							if !ok {
+								return
+							}
+							if _, _, err := cl.Invoke(p, v.(core.Request)); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					})
+				}
+				eng.Run()
+				rate = total / time.Duration(eng.Now()).Seconds()
+			}
+			b.ReportMetric(rate, "req/s")
+		})
+	}
+}

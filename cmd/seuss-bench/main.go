@@ -1,0 +1,95 @@
+// Command seuss-bench is the paper's custom FaaS load-generation
+// benchmark (§7): trials of N invocations over M functions issued by C
+// worker threads, plus the burst-resiliency mode.
+//
+//	seuss-bench -mode trial -backend seuss -n 2000 -m 1024 -c 32
+//	seuss-bench -mode burst -backend linux -period 16s
+//
+// All latencies are virtual time from the deterministic simulation;
+// throughput and percentile output match the quantities the paper's
+// figures report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seuss"
+)
+
+func main() {
+	mode := flag.String("mode", "trial", "trial or burst")
+	backend := flag.String("backend", "seuss", "seuss or linux")
+	n := flag.Int("n", 2000, "trial: invocation count (N)")
+	m := flag.Int("m", 64, "trial: function set size (M)")
+	c := flag.Int("c", 32, "trial: worker threads (C)")
+	warmup := flag.Int("warmup", 512, "trial: unmeasured warmup invocations")
+	period := flag.Duration("period", 32*time.Second, "burst: period between bursts")
+	bursts := flag.Int("bursts", 10, "burst: number of bursts")
+	burstSize := flag.Int("burst-size", 128, "burst: concurrent requests per burst")
+	seed := flag.Int64("seed", 1, "random seed (send order is pre-computed per seed)")
+	flag.Parse()
+
+	sim := seuss.New()
+	cluster, err := buildCluster(sim, *backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seuss-bench:", err)
+		os.Exit(1)
+	}
+
+	switch *mode {
+	case "trial":
+		fns := make([]seuss.Function, *m)
+		for i := range fns {
+			fns[i] = seuss.NOP(i)
+		}
+		res := cluster.RunTrial(seuss.Trial{N: *n, Fns: fns, C: *c, Seed: *seed, Warmup: *warmup})
+		fmt.Printf("backend=%s N=%d M=%d C=%d\n", *backend, *n, *m, *c)
+		fmt.Printf("completed=%d errors=%d elapsed=%v throughput=%.1f req/s\n",
+			res.Completed, res.Errors, res.Elapsed.Round(time.Millisecond), res.Throughput())
+		fmt.Printf("latency: %s\n", res.Summary())
+	case "burst":
+		bgFns := make([]seuss.Function, 16)
+		for i := range bgFns {
+			bgFns[i] = seuss.IOBound(fmt.Sprintf("bg%02d/io", i), "http://ext/block", 250*time.Millisecond)
+		}
+		tl := cluster.RunBurst(seuss.Burst{
+			Threads:    128,
+			BGFns:      bgFns,
+			BGRate:     72,
+			BurstEvery: *period,
+			BurstSize:  *burstSize,
+			BurstCPUms: 150,
+			Bursts:     *bursts,
+			Seed:       *seed,
+		})
+		fmt.Printf("backend=%s period=%v bursts=%d size=%d\n", *backend, *period, *bursts, *burstSize)
+		fmt.Printf("background: %d requests, %d errors, p99=%v, max gap=%v\n",
+			tl.Count("background"), tl.Errors("background"),
+			seuss.Summarize(tl.Latencies("background")).P99.Round(time.Millisecond),
+			tl.MaxGap("background").Round(time.Millisecond))
+		fmt.Printf("burst:      %d requests, %d errors, p99=%v\n",
+			tl.Count("burst"), tl.Errors("burst"),
+			seuss.Summarize(tl.Latencies("burst")).P99.Round(time.Millisecond))
+	default:
+		fmt.Fprintln(os.Stderr, "seuss-bench: unknown mode", *mode)
+		os.Exit(1)
+	}
+}
+
+func buildCluster(sim *seuss.Simulation, backend string) (*seuss.Cluster, error) {
+	switch backend {
+	case "seuss":
+		cfg := seuss.NodeDefaults()
+		cfg.HTTPHandler = func(url string) (string, time.Duration, error) {
+			return "OK", 250 * time.Millisecond, nil
+		}
+		return sim.NewSeussCluster(cfg)
+	case "linux":
+		return sim.NewLinuxCluster(seuss.LinuxConfig{Stemcells: 256, ContainerLimit: 1024}), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q", backend)
+	}
+}

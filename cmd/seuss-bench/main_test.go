@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"seuss"
+)
+
+func TestBuildClusterBackends(t *testing.T) {
+	for _, backend := range []string{"seuss", "linux"} {
+		sim := seuss.New()
+		c, err := buildCluster(sim, backend)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if c.Backend() != backend {
+			t.Errorf("backend = %q, want %q", c.Backend(), backend)
+		}
+	}
+	if _, err := buildCluster(seuss.New(), "nope"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestTinyTrialThroughBenchWiring(t *testing.T) {
+	sim := seuss.New()
+	c, err := buildCluster(sim, "seuss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := []seuss.Function{seuss.NOP(0), seuss.NOP(1)}
+	res := c.RunTrial(seuss.Trial{N: 40, Fns: fns, C: 4, Seed: 1})
+	if res.Completed != 40 || res.Errors != 0 {
+		t.Errorf("completed=%d errors=%d", res.Completed, res.Errors)
+	}
+}
+
+func TestTinyBurstThroughBenchWiring(t *testing.T) {
+	sim := seuss.New()
+	c, err := buildCluster(sim, "linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := []seuss.Function{seuss.IOBound("bg/io", "http://ext", 50_000_000)}
+	tl := c.RunBurst(seuss.Burst{
+		Threads: 4, BGFns: bg, BGRate: 10,
+		BurstEvery: 2_000_000_000, BurstSize: 4, BurstCPUms: 20, Bursts: 2, Seed: 1,
+	})
+	if tl.Count("burst") != 8 {
+		t.Errorf("burst count = %d", tl.Count("burst"))
+	}
+}

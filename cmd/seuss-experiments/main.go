@@ -1,0 +1,139 @@
+// Command seuss-experiments regenerates the tables and figures of the
+// SEUSS paper's evaluation (§7) and writes both human-readable tables
+// and TSV series for plotting.
+//
+// Usage:
+//
+//	seuss-experiments [-run all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8]
+//	                  [-out DIR] [-quick] [-seed N]
+//
+// -quick shrinks iteration counts and sweep ranges for a fast pass;
+// the default sizes reproduce the full experiments (minutes of wall
+// time for the figure sweeps).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"seuss/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, fig6, fig7, fig8")
+	out := flag.String("out", "", "directory for TSV outputs (default: none written)")
+	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	writeTSV := func(name, content string) {
+		if *out == "" {
+			return
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if want("fig1") {
+		f, err := experiments.RunFigure1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("table1") {
+		iters := 475
+		if *quick {
+			iters = 25
+		}
+		t, err := experiments.RunTable1(iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("table2") {
+		iters := 100
+		if *quick {
+			iters = 10
+		}
+		t, err := experiments.RunTable2(iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("table3") {
+		sample := 1500
+		if *quick {
+			sample = 400
+		}
+		t, err := experiments.RunTable3(sample)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("fig4") {
+		cfg := experiments.Figure4Config{Seed: *seed}
+		if *quick {
+			cfg.SetSizes = []int{64, 256, 1024, 4096, 16384}
+			cfg.N = 600
+		}
+		f, err := experiments.RunFigure4(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Render())
+		writeTSV("figure4.tsv", f.TSV())
+	}
+	if want("fig5") {
+		n := 1000
+		if *quick {
+			n = 400
+		}
+		f, err := experiments.RunFigure5(nil, n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Render())
+	}
+	for _, b := range []struct {
+		name   string
+		period time.Duration
+	}{
+		{"fig6", 32 * time.Second},
+		{"fig7", 16 * time.Second},
+		{"fig8", 8 * time.Second},
+	} {
+		if !want(b.name) {
+			continue
+		}
+		cfg := experiments.BurstConfig{Period: b.period, Seed: *seed}
+		if *quick {
+			cfg.Bursts = 5
+			cfg.Threads = 64
+		}
+		f, err := experiments.RunBurst(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Render())
+		writeTSV(b.name+".tsv", f.TSV())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seuss-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command seuss-node runs a SEUSS compute node behind a real HTTP
+// endpoint — a demonstration that the library is a working function
+// platform, not only an experiment harness.
+//
+//	seuss-node [-addr :8080] [-no-ao]
+//
+// Invoke a function:
+//
+//	curl -s localhost:8080/invoke -d '{
+//	  "key":  "alice/hello",
+//	  "source": "function main(args) { return {msg: \"hello \" + args.name}; }",
+//	  "args": {"name": "world"}
+//	}'
+//
+// The response carries the driver's output plus the path taken (cold,
+// warm, hot) and the node-side virtual latency. GET /stats reports the
+// node's caches and counters; GET /healthz liveness.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"seuss"
+)
+
+type server struct {
+	mu     sync.Mutex // the simulation is single-threaded by design
+	sim    *seuss.Simulation
+	node   *seuss.Node
+	tracer *seuss.Trace
+}
+
+type invokeRequest struct {
+	Key    string          `json:"key"`
+	Source string          `json:"source"`
+	Args   json.RawMessage `json:"args"`
+}
+
+type invokeResponse struct {
+	Path      string          `json:"path"`
+	LatencyMS float64         `json:"latency_ms"`
+	Output    json.RawMessage `json:"output"`
+}
+
+func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req invokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Key == "" || req.Source == "" {
+		http.Error(w, "key and source are required", http.StatusBadRequest)
+		return
+	}
+	args := "{}"
+	if len(req.Args) > 0 {
+		args = string(req.Args)
+	}
+
+	s.mu.Lock()
+	inv, err := s.node.InvokeSync(req.Key, req.Source, args)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, "invocation failed: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(invokeResponse{
+		Path:      inv.Path,
+		LatencyMS: float64(inv.Latency.Microseconds()) / 1000,
+		Output:    json.RawMessage(inv.Output),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.node.Stats()
+	clock := s.sim.Clock()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"virtual_clock":      clock.String(),
+		"cold":               st.Cold,
+		"warm":               st.Warm,
+		"hot":                st.Hot,
+		"errors":             st.Errors,
+		"cached_snapshots":   st.CachedSnapshots,
+		"idle_ucs":           st.IdleUCs,
+		"ucs_deployed":       st.UCsDeployed,
+		"ucs_reclaimed":      st.UCsReclaimed,
+		"snapshots_captured": st.SnapshotsCaptured,
+		"snapshots_evicted":  st.SnapshotsEvicted,
+		"memory_used_mb":     float64(st.MemoryUsedBytes) / 1e6,
+	})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	noAO := flag.Bool("no-ao", false, "disable anticipatory optimizations")
+	flag.Parse()
+
+	simul := seuss.New()
+	cfg := seuss.NodeDefaults()
+	cfg.DisableAO = *noAO
+	cfg.Tracer = seuss.NewTrace(100000)
+	start := time.Now()
+	node, err := simul.NewNode(cfg)
+	if err != nil {
+		log.Fatalf("seuss-node: boot: %v", err)
+	}
+	log.Printf("node booted in %v (AO=%v); runtime snapshot cached", time.Since(start), !*noAO)
+
+	s := &server{sim: simul, node: node, tracer: cfg.Tracer}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+}
+
+// mux wires the server's routes (shared with the tests).
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/invoke", s.handleInvoke)
+	m.HandleFunc("/stats", s.handleStats)
+	m.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	m.HandleFunc("/trace", s.handleTrace)
+	return m
+}
+
+// handleTrace serves the node's event timeline in Chrome trace-event
+// format — load it at chrome://tracing or ui.perfetto.dev.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.WriteChromeTrace(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

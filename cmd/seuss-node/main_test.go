@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seuss"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sim := seuss.New()
+	node, err := sim.NewNode(seuss.NodeDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{sim: sim, node: node}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, body string) (*http.Response, invokeResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/invoke", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out invokeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestInvokeOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	body := `{"key": "web/hello", "source": "function main(args) { return {hi: args.name}; }", "args": {"name": "http"}}`
+
+	resp, out := post(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Path != "cold" {
+		t.Errorf("path = %q", out.Path)
+	}
+	if out.LatencyMS < 4 || out.LatencyMS > 12 {
+		t.Errorf("latency = %.2f ms", out.LatencyMS)
+	}
+	if !strings.Contains(string(out.Output), `"hi":"http"`) {
+		t.Errorf("output = %s", out.Output)
+	}
+
+	// Second call: hot.
+	_, out2 := post(t, ts, body)
+	if out2.Path != "hot" {
+		t.Errorf("second path = %q", out2.Path)
+	}
+}
+
+func TestInvokeValidation(t *testing.T) {
+	ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"empty":     `{}`,
+		"bad json":  `{`,
+		"no source": `{"key": "x"}`,
+	} {
+		resp, _ := post(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// GET is rejected.
+	resp, err := http.Get(ts.URL + "/invoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestInvokeBadSource(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := post(t, ts, `{"key": "bad/fn", "source": "function main( {"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts, `{"key": "s/fn", "source": "function main(a) { return {}; }"}`)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["cold"].(float64) != 1 {
+		t.Errorf("cold = %v", stats["cold"])
+	}
+	if stats["cached_snapshots"].(float64) != 1 {
+		t.Errorf("cached = %v", stats["cached_snapshots"])
+	}
+	if stats["memory_used_mb"].(float64) < 100 {
+		t.Errorf("memory = %v", stats["memory_used_mb"])
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	sim := seuss.New()
+	cfg := seuss.NodeDefaults()
+	tracer := seuss.NewTrace(0)
+	cfg.Tracer = tracer
+	node, err := sim.NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{sim: sim, node: node, tracer: tracer}
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	body := `{"key": "tr/fn", "source": "function main(a) { return {}; }"}`
+	http.Post(ts.URL+"/invoke", "application/json", strings.NewReader(body))
+
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Error("empty trace after an invocation")
+	}
+}
+
+func TestTraceEndpointDisabled(t *testing.T) {
+	ts := newTestServer(t) // no tracer configured
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

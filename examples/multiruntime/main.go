@@ -1,0 +1,45 @@
+// Multiple interpreters (§4): SEUSS keeps one base runtime snapshot per
+// supported language runtime — the prototype ports both Node.js and
+// Python onto Rumprun. Each runtime's functions deploy from their own
+// base image; the snapshot caches stay separate; both get the same
+// cold → hot progression.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seuss"
+)
+
+const fn = `function main(args) { return {runtime: args.rt, value: args.n * 3}; }`
+
+func main() {
+	sim := seuss.New()
+	cfg := seuss.NodeDefaults()
+	cfg.Runtimes = []string{"nodejs", "python"}
+	node, err := sim.NewNode(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, rt := range []string{"nodejs", "python"} {
+		for i := 0; i < 2; i++ {
+			var inv seuss.Invocation
+			var ierr error
+			rtCopy := rt
+			sim.Spawn("client", func(t *seuss.Task) {
+				inv, ierr = node.InvokeRuntime(t, rtCopy, rtCopy+"/demo", fn, fmt.Sprintf(`{"rt": %q, "n": 7}`, rtCopy))
+			})
+			sim.Run()
+			if ierr != nil {
+				log.Fatal(ierr)
+			}
+			fmt.Printf("%-7s invocation %d: path=%-4s latency=%8v %s\n", rt, i+1, inv.Path, inv.Latency, inv.Output)
+		}
+	}
+
+	st := node.Stats()
+	fmt.Printf("\nnode caches %d function snapshots across 2 runtime base images; %.1f MB used\n",
+		st.CachedSnapshots, float64(st.MemoryUsedBytes)/1e6)
+}

@@ -1,0 +1,3 @@
+module seuss
+
+go 1.22

@@ -1,0 +1,278 @@
+// Package cluster implements the paper's §9 future work: DR-SEUSS, a
+// distributed and replicated global snapshot cache spanning compute
+// nodes.
+//
+// The enabling properties are exactly the ones §9 names: snapshots are
+// read-only, and every UC is configured with an identical network
+// identity, so a snapshot captured on one node can be cloned and
+// deployed on any node with the same base runtime snapshot. The cluster
+// keeps a directory mapping function keys to holder nodes; on a
+// directory hit the request is either routed to a holder or the
+// page-level diff is migrated over the cluster network (10 GbE in the
+// paper's testbed) and grafted onto the local base image, whichever the
+// policy prefers. Either way, a function is cold at most once per
+// *cluster* rather than once per node.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"seuss/internal/core"
+	"seuss/internal/sim"
+	"seuss/internal/snapshot"
+)
+
+// ErrNoNodes is returned when the cluster has no members.
+var ErrNoNodes = errors.New("cluster: no nodes")
+
+// Policy selects how a node without a local snapshot exploits a remote
+// holder.
+type Policy int
+
+const (
+	// PolicyRoute forwards the request to a node that already holds
+	// the snapshot (cheap, but hotspots the holder).
+	PolicyRoute Policy = iota
+	// PolicyMigrate pulls the snapshot diff to the chosen node and
+	// deploys locally (pays one transfer, then the function is warm on
+	// both nodes).
+	PolicyMigrate
+)
+
+var policyNames = [...]string{"route", "migrate"}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string { return policyNames[p] }
+
+// Config parameterizes the cluster.
+type Config struct {
+	// Nodes is the member count.
+	Nodes int
+	// NodeConfig configures each member identically ("similar hardware
+	// profiles").
+	NodeConfig core.Config
+	// Policy picks route-vs-migrate on remote snapshot hits (default
+	// PolicyMigrate — the replicated cache of §9).
+	Policy Policy
+	// LinkBandwidth is the inter-node network bandwidth
+	// (default 10 Gb/s, the paper's testbed fabric).
+	LinkBandwidth float64 // bytes/second
+	// LinkRTT is the inter-node round trip (default 150 µs).
+	LinkRTT time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.LinkBandwidth == 0 {
+		c.LinkBandwidth = 10e9 / 8 // 10 GbE
+	}
+	if c.LinkRTT == 0 {
+		c.LinkRTT = 150 * time.Microsecond
+	}
+	return c
+}
+
+// Stats counts cluster-level behavior.
+type Stats struct {
+	// LocalHits served from the chosen node's own caches.
+	LocalHits int64
+	// RemoteRoutes forwarded to a holder node.
+	RemoteRoutes int64
+	// Migrations pulled a snapshot diff across the fabric.
+	Migrations int64
+	// MigratedBytes is the total diff traffic.
+	MigratedBytes int64
+	// ClusterColds are first-in-cluster cold paths.
+	ClusterColds int64
+}
+
+// Member is one compute node in the cluster.
+type Member struct {
+	ID       int
+	Node     *core.Node
+	inflight int
+}
+
+// Cluster is a DR-SEUSS deployment.
+type Cluster struct {
+	eng     *sim.Engine
+	cfg     Config
+	members []*Member
+	// directory maps function key → IDs of nodes holding its snapshot.
+	directory map[string][]int
+	// migrating tracks in-flight diff transfers per function so
+	// concurrent requests do not re-ship the same pages.
+	migrating map[string]bool
+	cursor    int // round-robin tie-breaker for the balancer
+	stats     Stats
+}
+
+// New boots n identical nodes and links them.
+func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return nil, ErrNoNodes
+	}
+	c := &Cluster{
+		eng:       eng,
+		cfg:       cfg,
+		directory: make(map[string][]int),
+		migrating: make(map[string]bool),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		nc := cfg.NodeConfig
+		if nc.Cores == 0 && nc.MemoryBytes == 0 && !nc.NetworkAO && !nc.InterpreterAO && !nc.DisableAO {
+			nc = core.DefaultConfig()
+		}
+		nc.Seed = nc.Seed + int64(i)
+		node, err := core.NewNode(eng, nc)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.members = append(c.members, &Member{ID: i, Node: node})
+	}
+	return c, nil
+}
+
+// Members returns the cluster's nodes.
+func (c *Cluster) Members() []*Member { return c.members }
+
+// Stats returns cluster counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Holders returns the nodes currently registered for a function.
+func (c *Cluster) Holders(key string) []int {
+	out := make([]int, len(c.directory[key]))
+	copy(out, c.directory[key])
+	return out
+}
+
+// transferTime models shipping bytes across the fabric.
+func (c *Cluster) transferTime(bytes int64) time.Duration {
+	return c.cfg.LinkRTT + time.Duration(float64(bytes)/c.cfg.LinkBandwidth*float64(time.Second))
+}
+
+// leastLoaded returns the member with the fewest requests in flight;
+// ties rotate round-robin so sequential traffic still spreads.
+func (c *Cluster) leastLoaded() *Member {
+	n := len(c.members)
+	best := c.members[c.cursor%n]
+	for i := 1; i < n; i++ {
+		m := c.members[(c.cursor+i)%n]
+		if m.inflight < best.inflight {
+			best = m
+		}
+	}
+	c.cursor++
+	return best
+}
+
+// holderFor returns the least-loaded member holding key, or nil.
+func (c *Cluster) holderFor(key string) *Member {
+	var best *Member
+	for _, id := range c.directory[key] {
+		m := c.members[id]
+		if best == nil || m.inflight < best.inflight {
+			best = m
+		}
+	}
+	return best
+}
+
+func (c *Cluster) register(key string, id int) {
+	for _, existing := range c.directory[key] {
+		if existing == id {
+			return
+		}
+	}
+	c.directory[key] = append(c.directory[key], id)
+}
+
+// Invoke services one invocation somewhere in the cluster and returns
+// the result plus the serving node's ID.
+func (c *Cluster) Invoke(p *sim.Proc, req core.Request) (core.Result, int, error) {
+	if len(c.members) == 0 {
+		return core.Result{}, -1, ErrNoNodes
+	}
+	target := c.pick(p, req)
+	target.inflight++
+	res, err := target.Node.Invoke(p, req)
+	target.inflight--
+	if err != nil {
+		return core.Result{}, target.ID, err
+	}
+	c.register(req.Key, target.ID)
+	return res, target.ID, nil
+}
+
+// pick chooses (and, under PolicyMigrate, prepares) the serving node.
+func (c *Cluster) pick(p *sim.Proc, req core.Request) *Member {
+	// Any node already warm for this function?
+	if holder := c.holderFor(req.Key); holder != nil {
+		least := c.leastLoaded()
+		// Balanced enough: serve from a holder.
+		if c.cfg.Policy == PolicyRoute || holder.inflight <= least.inflight+1 {
+			if holder.Node.HasSnapshot(req.Key) || holder.Node.HasIdleUC(req.Key) {
+				c.stats.LocalHitsOrRoute(holder == least)
+				return holder
+			}
+			// Directory is stale (the holder evicted it): fall through.
+		}
+		// PolicyMigrate with an overloaded holder: serialize the diff on
+		// the holder, ship the bytes across the fabric, and graft them
+		// onto the target's base image. One transfer per function at a
+		// time; racers fall back to the holder.
+		if c.cfg.Policy == PolicyMigrate && holder.Node.HasSnapshot(req.Key) && !c.migrating[req.Key] {
+			if least.Node.HasSnapshot(req.Key) {
+				c.register(req.Key, least.ID)
+				return least
+			}
+			c.migrating[req.Key] = true
+			target := c.migrate(p, holder, least, req.Key)
+			delete(c.migrating, req.Key)
+			return target
+		}
+		return holder
+	}
+	// First sighting in the cluster: cold exactly once.
+	c.stats.ClusterColds++
+	return c.leastLoaded()
+}
+
+// migrate ships the holder's snapshot diff to dst over the fabric and
+// grafts it. On any failure the holder serves the request instead.
+func (c *Cluster) migrate(p *sim.Proc, holder, dst *Member, key string) *Member {
+	var wire bytes.Buffer
+	if err := holder.Node.ExportSnapshot(key, &wire); err != nil {
+		return holder
+	}
+	diff, err := snapshot.Import(&wire)
+	if err != nil {
+		return holder
+	}
+	// Ship the logical page volume: unmaterialized pages travel as one
+	// byte in the simulation but stand in for real content.
+	n := diff.LogicalBytes()
+	p.Sleep(c.transferTime(n))
+	if err := dst.Node.AdoptDiff(p, key, diff); err != nil {
+		return holder
+	}
+	c.stats.Migrations++
+	c.stats.MigratedBytes += n
+	c.register(key, dst.ID)
+	return dst
+}
+
+// LocalHitsOrRoute records a directory hit.
+func (s *Stats) LocalHitsOrRoute(local bool) {
+	if local {
+		s.LocalHits++
+	} else {
+		s.RemoteRoutes++
+	}
+}

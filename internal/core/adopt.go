@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"seuss/internal/libos"
+	"seuss/internal/sim"
+	"seuss/internal/snapshot"
+	"seuss/internal/uc"
+)
+
+// HasSnapshot reports whether a function snapshot for key is cached.
+func (n *Node) HasSnapshot(key string) bool {
+	_, ok := n.fnSnaps[key]
+	return ok
+}
+
+// HasIdleUC reports whether a hot-path UC for key is cached.
+func (n *Node) HasIdleUC(key string) bool {
+	return len(n.idle[key]) > 0
+}
+
+// SnapshotDiffBytes returns the cached snapshot's diff size, or 0.
+func (n *Node) SnapshotDiffBytes(key string) int64 {
+	if e, ok := n.fnSnaps[key]; ok {
+		return e.snap.DiffBytes()
+	}
+	return 0
+}
+
+// ExportSnapshot serializes a cached function snapshot's diff (pages +
+// guest payload) for migration — the sender side of §9's distributed
+// cache.
+func (n *Node) ExportSnapshot(key string, w io.Writer) error {
+	e, ok := n.fnSnaps[key]
+	if !ok {
+		return fmt.Errorf("core: export: no snapshot for %q", key)
+	}
+	return e.snap.Export(w)
+}
+
+// AdoptDiff grafts a migrated snapshot diff onto this node's base
+// runtime snapshot — the receiver side of §9's distributed cache. The
+// shipped pages become local frames; the guest payload is decoded and
+// attached so deployments rehydrate normally. No virtual time is
+// charged here: the caller accounts the wire transfer.
+func (n *Node) AdoptDiff(p *sim.Proc, key string, diff *snapshot.ImportedDiff) error {
+	if _, ok := n.fnSnaps[key]; ok {
+		return nil
+	}
+	n.reclaimIfNeeded(p)
+	snap, err := snapshot.Graft(diff, n.runtimeSnap)
+	if err != nil {
+		return fmt.Errorf("core: adopt diff %q: %w", key, err)
+	}
+	payload, err := uc.DecodePayload(diff.PayloadBytes)
+	if err != nil {
+		snap.Delete()
+		return fmt.Errorf("core: adopt diff %q: payload: %w", key, err)
+	}
+	snap.SetPayload(payload)
+	n.fnSnaps[key] = &fnEntry{snap: snap, last: n.eng.Now()}
+	n.stats.SnapshotsCaptured++
+	return nil
+}
+
+// AdoptSnapshot installs a function snapshot received from another node
+// — the §9 distributed-cache migration. Unikernel snapshots are
+// read-only and every UC shares one network identity, so a snapshot
+// "can be cloned and deployed across machines with similar hardware
+// profiles": the sender ships the page-level diff, and the receiver
+// grafts it onto its own (identical) base runtime snapshot.
+//
+// The graft replays the deterministic import into a local UC with no
+// virtual time charged (the pages arrive over the wire; the caller
+// charges transfer time separately), then captures the local function
+// snapshot. Memory effects — frames, page tables, budget — are real.
+func (n *Node) AdoptSnapshot(p *sim.Proc, key, source string) (bool, error) {
+	if _, ok := n.fnSnaps[key]; ok {
+		return false, nil
+	}
+	n.reclaimIfNeeded(p)
+	// Silent local rebuild: a throwaway environment absorbs the time
+	// charges, mirroring that the state arrives as bytes, not as
+	// re-execution.
+	silent := &libos.CountingEnv{}
+	u, err := uc.Deploy(n.runtimeSnap, nil, silent)
+	if err != nil {
+		return false, fmt.Errorf("core: adopt %q: %w", key, err)
+	}
+	if err := u.Guest().Connect(); err != nil {
+		u.Destroy()
+		return false, err
+	}
+	if err := u.Guest().ImportAndCompile(source); err != nil {
+		u.Destroy()
+		return false, fmt.Errorf("core: adopt %q: %w", key, err)
+	}
+	snap, err := u.Capture("fn/"+key, uc.TriggerPCPostCompile)
+	if err != nil {
+		u.Destroy()
+		return false, err
+	}
+	u.Destroy()
+	n.fnSnaps[key] = &fnEntry{snap: snap, last: n.eng.Now()}
+	n.stats.SnapshotsCaptured++
+	return true, nil
+}

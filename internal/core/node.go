@@ -1,0 +1,673 @@
+// Package core implements the SEUSS compute node — the paper's primary
+// contribution (§4, §6): a kernel that deploys serverless functions
+// from unikernel snapshots.
+//
+// The node maintains two caches:
+//
+//   - a snapshot cache: one base runtime snapshot per interpreter plus
+//     function-specific snapshots layered on it (snapshot stacks), and
+//   - a UC cache: idle, fully-initialized UCs awaiting re-invocation.
+//
+// Each invocation takes one of three paths (Figure 2):
+//
+//	hot:  an idle UC for the function exists — import new arguments
+//	      into it and run.
+//	warm: a function snapshot exists — deploy a UC from it, connect,
+//	      pass arguments, run.
+//	cold: nothing cached — deploy from the base runtime snapshot,
+//	      import and compile the source, capture a function snapshot
+//	      for future warm starts, then run.
+//
+// Memory management follows §6: CoW overcommit is resolved by a trivial
+// OOM policy — idle UCs are reclaimed as soon as available physical
+// memory drops below a threshold; function snapshots with no active
+// UCs are evicted LRU when the snapshot cache itself must shrink.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"seuss/internal/costs"
+	"seuss/internal/hypercall"
+	"seuss/internal/interp"
+	"seuss/internal/libos"
+	"seuss/internal/mem"
+	"seuss/internal/netsim"
+	"seuss/internal/sim"
+	"seuss/internal/snapshot"
+	"seuss/internal/trace"
+	"seuss/internal/uc"
+)
+
+// Path labels which invocation path served a request.
+type Path int
+
+// The three invocation paths of §4.
+const (
+	PathCold Path = iota
+	PathWarm
+	PathHot
+)
+
+var pathNames = [...]string{"cold", "warm", "hot"}
+
+// String implements fmt.Stringer.
+func (p Path) String() string { return pathNames[p] }
+
+// ErrNodeSaturated is returned when an invocation cannot obtain memory
+// even after reclaiming every idle resource.
+var ErrNodeSaturated = errors.New("core: node memory saturated")
+
+// Config parameterizes a Node.
+type Config struct {
+	// Cores is the worker core count (default: costs.NodeCores).
+	Cores int
+	// MemoryBytes is the physical memory budget (default:
+	// costs.NodeMemoryBytes).
+	MemoryBytes int64
+	// NetworkAO and InterpreterAO select which anticipatory
+	// optimizations run before the base runtime snapshot (both default
+	// true; Table 2 ablates them).
+	NetworkAO     bool
+	InterpreterAO bool
+	// DisableAO turns both AOs off (overrides the two flags).
+	DisableAO bool
+	// OOMThreshold is the fraction of memory below which idle UCs are
+	// reclaimed (default 0.02).
+	OOMThreshold float64
+	// Seed drives the node's deterministic RNG.
+	Seed int64
+	// HTTPHandler services outbound guest requests: it returns the
+	// response body and how long the remote end blocks. nil fails
+	// guest http.get calls.
+	HTTPHandler func(url string) (body string, delay time.Duration, err error)
+	// MaxIdlePerFn caps cached idle UCs per function (default 64).
+	MaxIdlePerFn int
+	// Tracer, when non-nil, records the node's structured event
+	// timeline (see internal/trace).
+	Tracer *trace.Tracer
+	// Runtimes lists the interpreter profiles to boot and snapshot at
+	// system initialization (default: nodejs only). The first entry is
+	// the default runtime for requests that name none.
+	Runtimes []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = costs.NodeCores
+	}
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = costs.NodeMemoryBytes
+	}
+	if c.OOMThreshold == 0 {
+		c.OOMThreshold = 0.02
+	}
+	if c.MaxIdlePerFn == 0 {
+		c.MaxIdlePerFn = 64
+	}
+	if len(c.Runtimes) == 0 {
+		c.Runtimes = []string{"nodejs"}
+	}
+	if c.DisableAO {
+		c.NetworkAO, c.InterpreterAO = false, false
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's configuration: 16 cores, 88 GB,
+// both AOs on.
+func DefaultConfig() Config {
+	return Config{NetworkAO: true, InterpreterAO: true}
+}
+
+// Stats counts node activity.
+type Stats struct {
+	Cold, Warm, Hot   int64
+	Errors            int64
+	UCsDeployed       int64
+	UCsReclaimed      int64 // idle UCs destroyed by the OOM policy
+	SnapshotsCaptured int64
+	SnapshotsEvicted  int64
+}
+
+// managedUC pairs a UC with its host environment so later operations
+// (hot invokes, OOM reclaim) can re-bind the environment to whichever
+// process performs them, plus the UC's network identity: the worker
+// core it is resident on and the proxy port mapping the kernel uses to
+// reach its driver (§6 Networking — TCP destination ports are the
+// unique key mapping packets to an active UC).
+type managedUC struct {
+	u    *uc.UC
+	e    *env
+	core int
+	port int
+}
+
+type idleUC struct {
+	mu   *managedUC
+	key  string
+	last sim.Time
+}
+
+type fnEntry struct {
+	snap *snapshot.Snapshot
+	last sim.Time
+}
+
+// Node is one SEUSS compute node.
+type Node struct {
+	eng   *sim.Engine
+	cfg   Config
+	store *mem.Store
+	cores *sim.Resource
+	proxy *netsim.Proxy
+
+	runtimeSnap  *snapshot.Snapshot            // default runtime (first profile)
+	runtimeSnaps map[string]*snapshot.Snapshot // one per supported interpreter
+	fnSnaps      map[string]*fnEntry
+	idle         map[string][]*idleUC
+	idleCount    int
+	nextCore     int
+
+	stats Stats
+}
+
+// NewNode builds a node and performs system initialization: boot the
+// unikernel into the interpreter, run the invocation driver, apply the
+// configured AOs, and capture the base runtime snapshot. Initialization
+// happens before the experiment clock matters and charges no engine
+// time.
+func NewNode(eng *sim.Engine, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		eng:     eng,
+		cfg:     cfg,
+		store:   mem.NewStore(cfg.MemoryBytes),
+		cores:   sim.NewResource(eng, cfg.Cores),
+		proxy:   netsim.NewProxy(cfg.Cores),
+		fnSnaps: make(map[string]*fnEntry),
+		idle:    make(map[string][]*idleUC),
+	}
+	n.runtimeSnaps = make(map[string]*snapshot.Snapshot, len(cfg.Runtimes))
+	for _, name := range cfg.Runtimes {
+		prof, err := interp.ProfileByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: system init: %w", err)
+		}
+		initEnv := &libos.CountingEnv{}
+		boot, err := uc.BootFreshProfile(n.store, nil, initEnv, prof)
+		if err != nil {
+			return nil, fmt.Errorf("core: system init (%s): %w", name, err)
+		}
+		if cfg.NetworkAO {
+			if err := boot.Guest().Unikernel().WarmNetwork(); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.InterpreterAO {
+			if err := boot.Guest().WarmInterpreter(); err != nil {
+				return nil, err
+			}
+		}
+		snap, err := boot.Capture("runtime/"+name, uc.TriggerPCDriverListen)
+		if err != nil {
+			return nil, fmt.Errorf("core: runtime snapshot (%s): %w", name, err)
+		}
+		n.runtimeSnaps[name] = snap
+		if n.runtimeSnap == nil {
+			n.runtimeSnap = snap
+		}
+	}
+	return n, nil
+}
+
+// runtimeSnapFor resolves a request's runtime to its base snapshot.
+func (n *Node) runtimeSnapFor(runtime string) (*snapshot.Snapshot, error) {
+	if runtime == "" {
+		return n.runtimeSnap, nil
+	}
+	snap, ok := n.runtimeSnaps[runtime]
+	if !ok {
+		return nil, fmt.Errorf("core: runtime %q not configured", runtime)
+	}
+	return snap, nil
+}
+
+// Engine returns the node's simulation engine.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// RuntimeSnapshot returns the default runtime's base snapshot.
+func (n *Node) RuntimeSnapshot() *snapshot.Snapshot { return n.runtimeSnap }
+
+// Runtimes returns the configured interpreter names.
+func (n *Node) Runtimes() []string {
+	out := make([]string, 0, len(n.runtimeSnaps))
+	for _, name := range n.cfg.Runtimes {
+		if _, ok := n.runtimeSnaps[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// MemStats returns the physical memory accounting.
+func (n *Node) MemStats() mem.Stats { return n.store.Stats() }
+
+// Store exposes the physical memory store (harness use).
+func (n *Node) Store() *mem.Store { return n.store }
+
+// CachedSnapshots returns the number of function snapshots cached.
+func (n *Node) CachedSnapshots() int { return len(n.fnSnaps) }
+
+// IdleUCs returns the number of cached idle UCs.
+func (n *Node) IdleUCs() int { return n.idleCount }
+
+// Cores returns the node's core resource (harness instrumentation).
+func (n *Node) Cores() *sim.Resource { return n.cores }
+
+// Proxy exposes the per-core network proxy (instrumentation).
+func (n *Node) Proxy() *netsim.Proxy { return n.proxy }
+
+// env builds the host environment one invocation runs against: CPU
+// charges contend for the node's cores; blocking does not hold a core.
+// A UC's env outlives the process that deployed it, so every node
+// operation re-binds the env to the process performing it.
+type env struct {
+	n *Node
+	p *sim.Proc
+}
+
+// bind attaches the env to the process about to operate on the UC.
+func (e *env) bind(p *sim.Proc) { e.p = p }
+
+// ChargeCPU implements libos.Env. With no bound process (teardown from
+// harness code outside the simulation) the charge is dropped.
+func (e *env) ChargeCPU(d time.Duration) {
+	if d <= 0 || e.p == nil {
+		return
+	}
+	e.n.cores.Use(e.p, d)
+}
+
+// Block implements libos.Env.
+func (e *env) Block(d time.Duration) {
+	if e.p == nil {
+		return
+	}
+	e.p.Sleep(d)
+}
+
+// Now implements libos.Env.
+func (e *env) Now() time.Duration { return time.Duration(e.n.eng.Now()) }
+
+// HTTPGet implements libos.Env: the request leaves through the per-core
+// proxy (masqueraded), crosses the external network, and blocks until
+// the remote end replies.
+func (e *env) HTTPGet(url string) (string, error) {
+	if e.n.cfg.HTTPHandler == nil {
+		return "", errors.New("core: no external network configured")
+	}
+	port, err := e.n.proxy.MapOutbound(0, 0)
+	if err != nil {
+		return "", err
+	}
+	defer e.n.proxy.Unmap(port)
+	e.p.Sleep(costs.ExternalHTTPLatency)
+	body, delay, err := e.n.cfg.HTTPHandler(url)
+	if err != nil {
+		return "", err
+	}
+	if delay > 0 {
+		e.p.Sleep(delay)
+	}
+	e.p.Sleep(costs.ExternalHTTPLatency)
+	return body, nil
+}
+
+// Output implements libos.Env (guest console lines are dropped at the
+// node level; the platform returns results explicitly).
+func (e *env) Output(string) {}
+
+// Request is one invocation request as delivered to the node.
+type Request struct {
+	// Key uniquely identifies the function (client account + name).
+	Key string
+	// Source is the function's code; needed only on cold paths.
+	Source string
+	// Args is the invocation argument JSON document.
+	Args string
+	// Runtime names the interpreter to run on ("" = the node's default).
+	Runtime string
+}
+
+// Result is the node's reply.
+type Result struct {
+	// Path records which invocation path served the request.
+	Path Path
+	// Output is the driver's JSON response.
+	Output string
+	// Latency is the node-side service time (excludes platform
+	// overheads), matching Table 1's measurement boundary.
+	Latency time.Duration
+}
+
+// Invoke services one invocation inside the calling simulated process.
+func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
+	start := n.eng.Now()
+	n.reclaimIfNeeded(p)
+
+	// Hot path: an idle UC for this function.
+	if mu := n.takeIdle(req.Key); mu != nil {
+		out, err := n.runOn(p, mu, req)
+		return n.finish(start, PathHot, out, err)
+	}
+
+	// Warm path: deploy from the function snapshot.
+	if entry, ok := n.fnSnaps[req.Key]; ok {
+		entry.last = n.eng.Now()
+		mu, err := n.deploy(p, entry.snap)
+		if err != nil {
+			n.stats.Errors++
+			return Result{}, err
+		}
+		if err := mu.u.Guest().Connect(); err != nil {
+			n.destroyUC(mu)
+			n.stats.Errors++
+			return Result{}, err
+		}
+		out, err := n.runOn(p, mu, req)
+		return n.finish(start, PathWarm, out, err)
+	}
+
+	// Cold path: deploy from the runtime snapshot, import and compile,
+	// capture the function snapshot, run.
+	base, err := n.runtimeSnapFor(req.Runtime)
+	if err != nil {
+		n.stats.Errors++
+		return Result{}, err
+	}
+	mu, err := n.deploy(p, base)
+	if err != nil {
+		n.stats.Errors++
+		return Result{}, err
+	}
+	if err := mu.u.Guest().Connect(); err != nil {
+		n.destroyUC(mu)
+		n.stats.Errors++
+		return Result{}, err
+	}
+	if err := mu.u.Guest().ImportAndCompile(req.Source); err != nil {
+		n.destroyUC(mu)
+		n.stats.Errors++
+		return Result{}, fmt.Errorf("core: import %q: %w", req.Key, err)
+	}
+	n.captureFnSnapshot(p, mu.u, req.Key)
+	out, err := n.runOn(p, mu, req)
+	return n.finish(start, PathCold, out, err)
+}
+
+func (n *Node) finish(start sim.Time, path Path, out string, err error) (Result, error) {
+	if err != nil {
+		n.stats.Errors++
+		return Result{}, err
+	}
+	n.cfg.Tracer.Span(trace.KindInvoke, "", path.String(),
+		time.Duration(start), time.Duration(n.eng.Now()-start))
+	switch path {
+	case PathCold:
+		n.stats.Cold++
+	case PathWarm:
+		n.stats.Warm++
+	default:
+		n.stats.Hot++
+	}
+	return Result{
+		Path:    path,
+		Output:  out,
+		Latency: time.Duration(n.eng.Now() - start),
+	}, nil
+}
+
+// deploy creates a UC from a snapshot, reclaiming idle UCs on memory
+// pressure and retrying once.
+func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot) (*managedUC, error) {
+	e := &env{n: n, p: p}
+	host := &ucNetHost{Host: hypercall.NewStubHost(), n: n, port: new(int)}
+	u, err := uc.Deploy(snap, host, e)
+	if err != nil {
+		if !errors.Is(err, mem.ErrOutOfMemory) {
+			return nil, err
+		}
+		n.reclaimAll(p)
+		u, err = uc.Deploy(snap, host, e)
+		if err != nil {
+			if errors.Is(err, mem.ErrOutOfMemory) {
+				return nil, ErrNodeSaturated
+			}
+			return nil, err
+		}
+	}
+	n.stats.UCsDeployed++
+	mu := &managedUC{u: u, e: e, core: n.nextCore % n.cfg.Cores}
+	n.nextCore++
+	// Install the UC's port mapping on its resident core so kernel↔UC
+	// traffic (connection setup, arguments, results) routes to it.
+	if port, perr := n.proxy.MapInternal(u.ID(), mu.core); perr == nil {
+		mu.port = port
+		*host.port = port
+	}
+	return mu, nil
+}
+
+// ucNetHost is the hypercall host the node gives each UC: non-network
+// calls hit the standard stub; network reads and writes route through
+// the node's per-core proxy under the UC's port mapping, so proxy
+// traffic counters reflect real guest activity.
+type ucNetHost struct {
+	hypercall.Host
+	n    *Node
+	port *int
+}
+
+// NetWrite implements hypercall.Host.
+func (h *ucNetHost) NetWrite(frame []byte) error {
+	if *h.port != 0 {
+		h.n.proxy.RouteOutbound(*h.port)
+	}
+	return h.Host.NetWrite(frame)
+}
+
+// NetRead implements hypercall.Host.
+func (h *ucNetHost) NetRead() ([]byte, bool) {
+	if *h.port != 0 {
+		h.n.proxy.RouteInbound(*h.port)
+	}
+	return h.Host.NetRead()
+}
+
+// destroyUC tears a managed UC down, removing its proxy mappings.
+func (n *Node) destroyUC(mu *managedUC) {
+	n.proxy.UnmapUC(mu.u.ID())
+	mu.u.Destroy()
+}
+
+// captureFnSnapshot records a function snapshot on the cold path,
+// evicting old snapshots if the cache is memory-bound. Failure to
+// capture is not fatal — the invocation proceeds, only future warm
+// starts are lost.
+func (n *Node) captureFnSnapshot(p *sim.Proc, u *uc.UC, key string) {
+	n.evictSnapshotsIfNeeded(p)
+	snap, err := u.Capture("fn/"+key, uc.TriggerPCPostCompile)
+	if err != nil {
+		return
+	}
+	n.fnSnaps[key] = &fnEntry{snap: snap, last: n.eng.Now()}
+	n.stats.SnapshotsCaptured++
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(n.eng.Now()), Kind: trace.KindCapture, Key: key,
+		Detail: fmt.Sprintf("%.1f MB diff", float64(snap.DiffBytes())/1e6),
+	})
+}
+
+// runOn performs the shared invocation tail on a ready UC and caches it
+// as idle afterwards.
+func (n *Node) runOn(p *sim.Proc, mu *managedUC, req Request) (string, error) {
+	mu.e.bind(p)
+	mu.u.SetRunning()
+	out, err := mu.u.Guest().Invoke(req.Args)
+	if err != nil {
+		n.destroyUC(mu)
+		return "", err
+	}
+	n.putIdle(req.Key, mu)
+	return out, nil
+}
+
+// takeIdle pops a cached idle UC for the function.
+func (n *Node) takeIdle(key string) *managedUC {
+	list := n.idle[key]
+	if len(list) == 0 {
+		return nil
+	}
+	entry := list[len(list)-1] // reuse the most recently used (warmest)
+	n.idle[key] = list[:len(list)-1]
+	n.idleCount--
+	return entry.mu
+}
+
+// putIdle caches a UC for hot reuse.
+func (n *Node) putIdle(key string, mu *managedUC) {
+	mu.u.SetIdle()
+	if len(n.idle[key]) >= n.cfg.MaxIdlePerFn {
+		n.destroyUC(mu)
+		return
+	}
+	n.idle[key] = append(n.idle[key], &idleUC{mu: mu, key: key, last: n.eng.Now()})
+	n.idleCount++
+}
+
+// reclaimIfNeeded applies the §6 OOM policy: reclaim idle UCs as soon
+// as available memory drops below the threshold.
+func (n *Node) reclaimIfNeeded(p *sim.Proc) {
+	if n.store.Budget() == 0 {
+		return
+	}
+	thresholdFrames := int64(float64(n.store.Budget()/mem.PageSize) * n.cfg.OOMThreshold)
+	for n.store.Available() < thresholdFrames && n.reclaimOneIdle(p) {
+	}
+}
+
+// reclaimAll destroys every idle UC (last-resort memory recovery). A
+// nil proc is allowed for harness-side teardown; destruction costs are
+// then dropped.
+func (n *Node) reclaimAll(p *sim.Proc) {
+	for n.reclaimOneIdle(p) {
+	}
+}
+
+// reclaimOneIdle destroys the least recently used idle UC; false if
+// none remain.
+func (n *Node) reclaimOneIdle(p *sim.Proc) bool {
+	var oldestKey string
+	var oldestIdx int
+	var oldest *idleUC
+	for key, list := range n.idle {
+		for i, entry := range list {
+			if oldest == nil || entry.last < oldest.last ||
+				(entry.last == oldest.last && entry.mu.u.ID() < oldest.mu.u.ID()) {
+				oldest, oldestKey, oldestIdx = entry, key, i
+			}
+		}
+	}
+	if oldest == nil {
+		return false
+	}
+	list := n.idle[oldestKey]
+	n.idle[oldestKey] = append(list[:oldestIdx], list[oldestIdx+1:]...)
+	if len(n.idle[oldestKey]) == 0 {
+		delete(n.idle, oldestKey)
+	}
+	n.idleCount--
+	oldest.mu.e.bind(p)
+	n.destroyUC(oldest.mu)
+	n.stats.UCsReclaimed++
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(n.eng.Now()), Kind: trace.KindReclaim, Key: oldestKey,
+	})
+	return true
+}
+
+// evictSnapshotsIfNeeded shrinks the function-snapshot cache LRU when
+// available memory is below threshold. Only snapshots with no active
+// UCs and no children may be deleted (§6); idle UCs deployed from a
+// candidate are destroyed first.
+func (n *Node) evictSnapshotsIfNeeded(p *sim.Proc) {
+	if n.store.Budget() == 0 {
+		return
+	}
+	thresholdFrames := int64(float64(n.store.Budget()/mem.PageSize) * n.cfg.OOMThreshold)
+	for n.store.Available() < thresholdFrames {
+		if !n.evictOneSnapshot(p) && !n.reclaimOneIdle(p) {
+			return
+		}
+	}
+}
+
+// evictOneSnapshot deletes the least recently used deletable function
+// snapshot; false if none qualifies.
+func (n *Node) evictOneSnapshot(p *sim.Proc) bool {
+	var lruKey string
+	var lru *fnEntry
+	for key, entry := range n.fnSnaps {
+		if entry.snap.Children() > 0 {
+			continue
+		}
+		if lru == nil || entry.last < lru.last || (entry.last == lru.last && key < lruKey) {
+			lru, lruKey = entry, key
+		}
+	}
+	if lru == nil {
+		return false
+	}
+	// Destroy idle UCs deployed from the candidate so it becomes
+	// deletable.
+	if list, ok := n.idle[lruKey]; ok {
+		for _, entry := range list {
+			entry.mu.e.bind(p)
+			n.destroyUC(entry.mu)
+			n.idleCount--
+			n.stats.UCsReclaimed++
+		}
+		delete(n.idle, lruKey)
+	}
+	if lru.snap.ActiveUCs() > 0 {
+		return false // a live invocation depends on it; try later
+	}
+	if err := lru.snap.Delete(); err != nil {
+		return false
+	}
+	delete(n.fnSnaps, lruKey)
+	n.stats.SnapshotsEvicted++
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(n.eng.Now()), Kind: trace.KindEvict, Key: lruKey,
+	})
+	return true
+}
+
+// DeployIdle deploys a UC from the base runtime snapshot and leaves it
+// idle (no function imported) — the Table 3 density and creation-rate
+// unit of work.
+func (n *Node) DeployIdle(p *sim.Proc) (*uc.UC, error) {
+	e := &env{n: n, p: p}
+	u, err := uc.Deploy(n.runtimeSnap, nil, e)
+	if err != nil {
+		return nil, err
+	}
+	n.stats.UCsDeployed++
+	return u, nil
+}

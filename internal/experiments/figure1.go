@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seuss/internal/libos"
+	"seuss/internal/mem"
+	"seuss/internal/metrics"
+	"seuss/internal/uc"
+	"seuss/internal/workload"
+)
+
+// Figure1Stage is one stage of a function invocation's lifetime
+// (Figure 1 of the paper), with the measured time each path spends in
+// it. A zero duration with Skipped=true is the point of the figure:
+// cached stages vanish from later paths.
+type Figure1Stage struct {
+	Name                        string
+	Cold                        time.Duration
+	Warm                        time.Duration
+	Hot                         time.Duration
+	ColdSkip, WarmSkip, HotSkip bool
+}
+
+// Figure1 is the invocation-stage breakdown.
+type Figure1 struct {
+	Stages []Figure1Stage
+	// BootTime is the once-per-interpreter system initialization that
+	// even cold starts skip (T1 in the figure: captured in the runtime
+	// snapshot).
+	BootTime time.Duration
+}
+
+// RunFigure1 measures each invocation stage on each path, reproducing
+// the stage-skipping structure of Figure 1: the runtime snapshot (T1)
+// removes boot + interpreter initialization from every path, the
+// function snapshot (T2) removes import + compile from warm starts, and
+// the cached UC removes deployment and connection from hot starts.
+func RunFigure1() (Figure1, error) {
+	var out Figure1
+	st := mem.NewStore(0)
+
+	// System initialization (pre-T1).
+	bootEnv := &libos.CountingEnv{}
+	boot, err := uc.BootFresh(st, nil, bootEnv)
+	if err != nil {
+		return out, err
+	}
+	if err := boot.Guest().Unikernel().WarmNetwork(); err != nil {
+		return out, err
+	}
+	if err := boot.Guest().WarmInterpreter(); err != nil {
+		return out, err
+	}
+	out.BootTime = bootEnv.Elapsed()
+	base, err := boot.Capture("runtime", uc.TriggerPCDriverListen)
+	if err != nil {
+		return out, err
+	}
+
+	type stamps struct {
+		deploy, connect, importCompile, args time.Duration
+	}
+
+	// Cold path, stage by stage.
+	var cold stamps
+	env := &libos.CountingEnv{}
+	u, err := uc.Deploy(base, nil, env)
+	if err != nil {
+		return out, err
+	}
+	cold.deploy = env.Elapsed()
+	if err := u.Guest().Connect(); err != nil {
+		return out, err
+	}
+	cold.connect = env.Elapsed()
+	if err := u.Guest().ImportAndCompile(workload.NOPSource); err != nil {
+		return out, err
+	}
+	fnSnap, err := u.Capture("fn", uc.TriggerPCPostCompile)
+	if err != nil {
+		return out, err
+	}
+	cold.importCompile = env.Elapsed()
+	if _, err := u.Guest().Invoke(`{}`); err != nil {
+		return out, err
+	}
+	cold.args = env.Elapsed()
+
+	// Warm path.
+	var warm stamps
+	wEnv := &libos.CountingEnv{}
+	w, err := uc.Deploy(fnSnap, nil, wEnv)
+	if err != nil {
+		return out, err
+	}
+	warm.deploy = wEnv.Elapsed()
+	if err := w.Guest().Connect(); err != nil {
+		return out, err
+	}
+	warm.connect = wEnv.Elapsed()
+	warm.importCompile = wEnv.Elapsed() // skipped
+	if _, err := w.Guest().Invoke(`{}`); err != nil {
+		return out, err
+	}
+	warm.args = wEnv.Elapsed()
+
+	// Hot path: reuse w.
+	var hot stamps
+	h0 := wEnv.Elapsed()
+	if _, err := w.Guest().Invoke(`{}`); err != nil {
+		return out, err
+	}
+	hot.args = wEnv.Elapsed() - h0
+
+	out.Stages = []Figure1Stage{
+		{
+			Name:     "boot unikernel + init interpreter",
+			ColdSkip: true, WarmSkip: true, HotSkip: true, // in the runtime snapshot
+		},
+		{
+			Name: "deploy UC",
+			Cold: cold.deploy, Warm: warm.deploy, HotSkip: true,
+		},
+		{
+			Name: "connect",
+			Cold: cold.connect - cold.deploy, Warm: warm.connect - warm.deploy, HotSkip: true,
+		},
+		{
+			Name: "import + compile function",
+			Cold: cold.importCompile - cold.connect, WarmSkip: true, HotSkip: true, // in the fn snapshot
+		},
+		{
+			Name: "pass arguments + execute",
+			Cold: cold.args - cold.importCompile, Warm: warm.args - warm.importCompile, Hot: hot.args,
+		},
+	}
+	return out, nil
+}
+
+// Render formats the stage table.
+func (f Figure1) Render() string {
+	tab := metrics.Table{Header: []string{"Stage", "Cold", "Warm", "Hot"}}
+	cell := func(d time.Duration, skip bool) string {
+		if skip {
+			return "— (cached)"
+		}
+		return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000)
+	}
+	for _, s := range f.Stages {
+		tab.AddRow(s.Name, cell(s.Cold, s.ColdSkip), cell(s.Warm, s.WarmSkip), cell(s.Hot, s.HotSkip))
+	}
+	return fmt.Sprintf("Figure 1: stages of a function invocation (system init before the\nruntime snapshot took %v and is paid once, never per invocation)\n\n",
+		f.BootTime.Round(time.Millisecond)) + tab.String()
+}

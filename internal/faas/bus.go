@@ -1,0 +1,94 @@
+package faas
+
+import (
+	"fmt"
+
+	"seuss/internal/sim"
+)
+
+// Bus is the platform's message service (the Kafka role in OpenWhisk):
+// durable, ordered, per-topic queues connecting the controller to the
+// invokers and the invokers' completions back to the controller. The
+// transport latency is part of costs.ControllerOverhead; the Bus
+// provides the ordering, buffering, and decoupling semantics.
+type Bus struct {
+	eng    *sim.Engine
+	topics map[string]*Topic
+}
+
+// Topic is one ordered message stream.
+type Topic struct {
+	name      string
+	queue     *sim.Queue
+	published int64
+	consumed  int64
+}
+
+// Message is one bus message.
+type Message struct {
+	// Topic the message was published to.
+	Topic string
+	// Seq is the message's per-topic sequence number (offset).
+	Seq int64
+	// Body is the payload.
+	Body interface{}
+}
+
+// NewBus returns an empty bus.
+func NewBus(eng *sim.Engine) *Bus {
+	return &Bus{eng: eng, topics: make(map[string]*Topic)}
+}
+
+// Topic returns (creating on first use) the named topic.
+func (b *Bus) Topic(name string) *Topic {
+	t, ok := b.topics[name]
+	if !ok {
+		t = &Topic{name: name, queue: sim.NewQueue(b.eng)}
+		b.topics[name] = t
+	}
+	return t
+}
+
+// Topics returns the number of live topics.
+func (b *Bus) Topics() int { return len(b.topics) }
+
+// Publish appends a message to the topic and returns its offset.
+func (b *Bus) Publish(topic string, body interface{}) int64 {
+	t := b.Topic(topic)
+	t.published++
+	t.queue.Put(Message{Topic: topic, Seq: t.published, Body: body})
+	return t.published
+}
+
+// Consume blocks the process until a message is available on the topic
+// and returns it in publication order. ok=false means the topic was
+// closed and drained.
+func (b *Bus) Consume(p *sim.Proc, topic string) (Message, bool) {
+	t := b.Topic(topic)
+	v, ok := t.queue.Get(p)
+	if !ok {
+		return Message{}, false
+	}
+	t.consumed++
+	return v.(Message), true
+}
+
+// Close marks a topic closed; consumers drain the backlog then see
+// ok=false.
+func (b *Bus) Close(topic string) {
+	b.Topic(topic).queue.Close()
+}
+
+// Depth returns the topic's backlog (published, not yet consumed).
+func (t *Topic) Depth() int { return t.queue.Len() }
+
+// Published returns the lifetime publication count.
+func (t *Topic) Published() int64 { return t.published }
+
+// Consumed returns the lifetime consumption count.
+func (t *Topic) Consumed() int64 { return t.consumed }
+
+// String implements fmt.Stringer.
+func (t *Topic) String() string {
+	return fmt.Sprintf("topic(%s: %d published, %d backlog)", t.name, t.published, t.Depth())
+}

@@ -1,0 +1,377 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"seuss/internal/core"
+	"seuss/internal/sim"
+	"seuss/internal/workload"
+)
+
+func newSeussCluster(t *testing.T, eng *sim.Engine) *Cluster {
+	t.Helper()
+	node, err := core.NewNode(eng, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCluster(eng, NewSeussBackend(node))
+}
+
+func newLinuxCluster(eng *sim.Engine, cfg LinuxConfig) *Cluster {
+	return NewCluster(eng, NewLinuxBackend(eng, cfg))
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Put("fn", "src1")
+	if a.Revision != 1 {
+		t.Errorf("rev = %d", a.Revision)
+	}
+	a2 := r.Put("fn", "src2")
+	if a2.Revision != 2 || a2.Source != "src2" {
+		t.Errorf("update = %+v", a2)
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Error("phantom action")
+	}
+	if r.Len() != 1 {
+		t.Errorf("len = %d", r.Len())
+	}
+}
+
+func TestSeussEndToEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newSeussCluster(t, eng)
+	spec := workload.NOPSpec(0)
+	var lat []time.Duration
+	eng.Go("client", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			t0 := p.Now()
+			if err := c.Invoke(p, spec, "{}"); err != nil {
+				t.Error(err)
+				return
+			}
+			lat = append(lat, time.Duration(p.Now()-t0))
+		}
+	})
+	eng.Run()
+	if len(lat) != 3 {
+		t.Fatal("invocations lost")
+	}
+	// Cold ≈ controller 3 + shim 8 + node 7.5 ≈ 18.5 ms; hot ≈ 12 ms.
+	if lat[0] < 14*time.Millisecond || lat[0] > 25*time.Millisecond {
+		t.Errorf("cold e2e = %v", lat[0])
+	}
+	if lat[2] < 9*time.Millisecond || lat[2] > 16*time.Millisecond {
+		t.Errorf("hot e2e = %v", lat[2])
+	}
+	if lat[2] >= lat[0] {
+		t.Errorf("hot %v !< cold %v", lat[2], lat[0])
+	}
+	if c.Requests != 3 || c.Failures != 0 {
+		t.Errorf("requests=%d failures=%d", c.Requests, c.Failures)
+	}
+}
+
+func TestSeussThroughputIsShimBound(t *testing.T) {
+	// Table 3 / Figure 4: the shim's single TCP connection caps the
+	// SEUSS platform near 130 requests/s regardless of path.
+	eng := sim.NewEngine()
+	c := newSeussCluster(t, eng)
+	tr := workload.Trial{N: 600, Fns: []workload.Spec{workload.NOPSpec(0)}, C: 32, Seed: 1, Warmup: 50}
+	res := tr.Run(eng, c)
+	rate := res.Throughput()
+	if rate < 110 || rate > 145 {
+		t.Errorf("SEUSS platform throughput = %.1f/s, want ≈130", rate)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+}
+
+func TestLinuxHotPathAndThroughput(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newLinuxCluster(eng, LinuxConfig{Seed: 1})
+	// A single hot action under 32 workers converges slowly: duplicate
+	// containers accumulate through per-action queueing timeouts until
+	// collisions vanish, so give it a long warmup.
+	tr := workload.Trial{N: 800, Fns: []workload.Spec{workload.NOPSpec(0)}, C: 32, Seed: 1, Warmup: 1400}
+	res := tr.Run(eng, c)
+	rate := res.SteadyThroughput()
+	// Invoker-serialization bound ≈156/s; single-action convergence
+	// keeps some queueing overhead, so accept a band below it.
+	if rate < 110 || rate > 175 {
+		t.Errorf("Linux platform throughput = %.1f/s, want ≈156", rate)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+}
+
+func TestFigure4ShapeSmallSetLinuxWins(t *testing.T) {
+	// At M=64, Linux throughput exceeds SEUSS by ≈21% (the shim hop).
+	// Warmup must cover the initial container-cache build: the first
+	// pass is a 32-way creation storm (the paper measures only after
+	// throughput stabilizes).
+	engS := sim.NewEngine()
+	cs := newSeussCluster(t, engS)
+	fns := make([]workload.Spec, 16)
+	for i := range fns {
+		fns[i] = workload.NOPSpec(i)
+	}
+	resS := workload.Trial{N: 1200, Fns: fns, C: 32, Seed: 1, Warmup: 512}.Run(engS, cs)
+
+	engL := sim.NewEngine()
+	cl := newLinuxCluster(engL, LinuxConfig{Seed: 1})
+	resL := workload.Trial{N: 1200, Fns: fns, C: 32, Seed: 1, Warmup: 512}.Run(engL, cl)
+
+	ratio := resL.SteadyThroughput() / resS.SteadyThroughput()
+	if ratio < 1.05 || ratio > 1.45 {
+		t.Errorf("Linux/SEUSS at small M = %.2f (L=%.0f/s S=%.0f/s), paper ≈1.21",
+			ratio, resL.SteadyThroughput(), resS.SteadyThroughput())
+	}
+}
+
+func TestFigure4ShapeLargeSetSeussWins(t *testing.T) {
+	// Scaled-down saturation: container limit 32, 300 unique functions.
+	// Every Linux request needs an eviction + creation; SEUSS cold
+	// starts stay cheap. The full-scale run is in the benchmarks.
+	engS := sim.NewEngine()
+	cs := newSeussCluster(t, engS)
+	fns := make([]workload.Spec, 300)
+	for i := range fns {
+		fns[i] = workload.NOPSpec(i)
+	}
+	resS := workload.Trial{N: 400, Fns: fns, C: 16, Seed: 1}.Run(engS, cs)
+
+	engL := sim.NewEngine()
+	cl := newLinuxCluster(engL, LinuxConfig{Seed: 1, ContainerLimit: 32})
+	resL := workload.Trial{N: 400, Fns: fns, C: 16, Seed: 1}.Run(engL, cl)
+
+	if resS.Throughput() < 5*resL.Throughput() {
+		t.Errorf("SEUSS %.1f/s not >5x Linux %.1f/s on unique-function workload",
+			resS.Throughput(), resL.Throughput())
+	}
+	lb := cl.Backend().(*LinuxBackend)
+	if lb.docker.Destroyed == 0 {
+		t.Error("Linux saturation never evicted containers")
+	}
+}
+
+func TestLinuxStemcellAbsorbsBurst(t *testing.T) {
+	eng := sim.NewEngine()
+	lb := NewLinuxBackend(eng, LinuxConfig{Seed: 1, Stemcells: 64, ContainerLimit: 128})
+	c := NewCluster(eng, lb)
+	if len(lb.stemcells) != 64 {
+		t.Fatalf("prewarmed stemcells = %d", len(lb.stemcells))
+	}
+	// A burst of 32 fresh functions: all served from stemcells,
+	// quickly.
+	var worst time.Duration
+	done := 0
+	for i := 0; i < 32; i++ {
+		spec := workload.CPUSpec("burst/"+string(rune('a'+i)), 10)
+		eng.Go("burst", func(p *sim.Proc) {
+			t0 := p.Now()
+			if err := c.Invoke(p, spec, "{}"); err != nil {
+				t.Error(err)
+				return
+			}
+			if d := time.Duration(p.Now() - t0); d > worst {
+				worst = d
+			}
+			done++
+		})
+	}
+	eng.Run()
+	if done != 32 {
+		t.Fatal("burst requests lost")
+	}
+	// Stemcell path ≈ import 80ms + dispatch; no container creation on
+	// the critical path.
+	if worst > time.Second {
+		t.Errorf("worst burst latency = %v with stemcells available", worst)
+	}
+	// The replenisher refilled the pool afterwards.
+	if len(lb.stemcells) != 64 {
+		t.Errorf("stemcells after replenish = %d, want 64", len(lb.stemcells))
+	}
+}
+
+func TestLinuxErrorsWhenCapacityExhausted(t *testing.T) {
+	// Tiny cache, all containers pinned busy by long functions: new
+	// requests wait, then time out — the paper's burst failures.
+	eng := sim.NewEngine()
+	lb := NewLinuxBackend(eng, LinuxConfig{Seed: 1, ContainerLimit: 4})
+	c := NewCluster(eng, lb)
+	errs := 0
+	done := 0
+	for i := 0; i < 12; i++ {
+		spec := workload.CPUSpec("pin/"+string(rune('a'+i)), 90_000) // 90s CPU each
+		eng.Go("pin", func(p *sim.Proc) {
+			if err := c.Invoke(p, spec, "{}"); err != nil {
+				errs++
+			}
+			done++
+		})
+	}
+	eng.Run()
+	if done != 12 {
+		t.Fatal("requests lost")
+	}
+	if errs == 0 {
+		t.Error("no capacity errors despite 12 long requests on 4 containers")
+	}
+	if c.Failures != int64(errs) {
+		t.Errorf("cluster failures = %d, errs = %d", c.Failures, errs)
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	eng := sim.NewEngine()
+	if NewLinuxBackend(eng, LinuxConfig{}).Name() != "linux" {
+		t.Error("linux name")
+	}
+	node, err := core.NewNode(eng, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewSeussBackend(node).Name() != "seuss" {
+		t.Error("seuss name")
+	}
+}
+
+func TestBusOrderingAndOffsets(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	for i := 0; i < 5; i++ {
+		if off := bus.Publish("invoker0", i); off != int64(i+1) {
+			t.Errorf("offset = %d", off)
+		}
+	}
+	var got []int
+	eng.Go("consumer", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			m, ok := bus.Consume(p, "invoker0")
+			if !ok {
+				t.Error("topic closed early")
+				return
+			}
+			if m.Seq != int64(i+1) || m.Topic != "invoker0" {
+				t.Errorf("message = %+v", m)
+			}
+			got = append(got, m.Body.(int))
+		}
+	})
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	topic := bus.Topic("invoker0")
+	if topic.Published() != 5 || topic.Consumed() != 5 || topic.Depth() != 0 {
+		t.Errorf("topic = %v", topic)
+	}
+}
+
+func TestBusBlocksConsumerUntilPublish(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	var at time.Duration
+	eng.Go("consumer", func(p *sim.Proc) {
+		if _, ok := bus.Consume(p, "completed"); ok {
+			at = time.Duration(p.Now())
+		}
+	})
+	eng.Go("producer", func(p *sim.Proc) {
+		p.Sleep(9 * time.Millisecond)
+		bus.Publish("completed", "result")
+	})
+	eng.Run()
+	if at != 9*time.Millisecond {
+		t.Errorf("consumed at %v", at)
+	}
+}
+
+func TestBusTopicsIndependent(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	bus.Publish("a", 1)
+	bus.Publish("b", 2)
+	if bus.Topics() != 2 {
+		t.Errorf("topics = %d", bus.Topics())
+	}
+	if bus.Topic("a").Depth() != 1 || bus.Topic("b").Depth() != 1 {
+		t.Error("cross-topic interference")
+	}
+}
+
+func TestBusClose(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	bus.Publish("t", "last")
+	bus.Close("t")
+	var sawLast, sawClosed bool
+	eng.Go("c", func(p *sim.Proc) {
+		if m, ok := bus.Consume(p, "t"); ok && m.Body == "last" {
+			sawLast = true
+		}
+		if _, ok := bus.Consume(p, "t"); !ok {
+			sawClosed = true
+		}
+	})
+	eng.Run()
+	if !sawLast || !sawClosed {
+		t.Errorf("drain-then-close broken: last=%v closed=%v", sawLast, sawClosed)
+	}
+}
+
+func TestAsyncActivations(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newSeussCluster(t, eng)
+	spec := workload.CPUSpec("async/cpu", 50)
+	var id int64
+	var waited *Activation
+	eng.Go("client", func(p *sim.Proc) {
+		id = c.InvokeAsync(p, spec, "{}")
+		// The call returns before the function completes.
+		if a, ok := c.Activation(id); !ok || a.Done {
+			t.Errorf("activation state at submit: %+v ok=%v", a, ok)
+		}
+		waited = c.WaitActivation(p, id)
+	})
+	eng.Run()
+	if waited == nil || !waited.Done || waited.Err != nil {
+		t.Fatalf("activation = %+v", waited)
+	}
+	// A 50ms CPU function through the cold path: the span covers it.
+	if waited.End-waited.Start < 50*time.Millisecond {
+		t.Errorf("span = %v", waited.End-waited.Start)
+	}
+	if c.WaitActivation(nil, 999999) != nil {
+		t.Error("phantom activation")
+	}
+}
+
+func TestAsyncActivationFailureRecorded(t *testing.T) {
+	eng := sim.NewEngine()
+	lb := NewLinuxBackend(eng, LinuxConfig{Seed: 1, ContainerLimit: 1})
+	c := NewCluster(eng, lb)
+	// Pin the only container with a >timeout function, then submit
+	// another async activation: it must complete with an error.
+	var failedID int64
+	eng.Go("client", func(p *sim.Proc) {
+		c.InvokeAsync(p, workload.CPUSpec("pin/a", 120_000), "{}")
+		failedID = c.InvokeAsync(p, workload.CPUSpec("pin/b", 10), "{}")
+		a := c.WaitActivation(p, failedID)
+		if a.Err == nil {
+			t.Error("capacity failure not recorded")
+		}
+	})
+	eng.Run()
+	if c.Failures == 0 {
+		t.Error("cluster failures not counted")
+	}
+}

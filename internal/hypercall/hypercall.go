@@ -1,0 +1,179 @@
+// Package hypercall defines the narrow domain interface between a
+// unikernel context and the trusted SEUSS kernel.
+//
+// The prototype's UCs run on Solo5/ukvm middleware, which "exposes only
+// 12 system calls while the standard security of a Docker container
+// gives access to over 300 Linux syscalls" (§5). Reproducing that
+// interface matters for two reasons: it is the security argument of the
+// paper, and it is the only channel through which guest software touches
+// the host, so charging each crossing a fixed cost keeps the time model
+// honest.
+package hypercall
+
+import "time"
+
+// Number identifies one of the twelve hypercalls.
+type Number int
+
+// The hypercall table, mirroring Solo5's ukvm interface.
+const (
+	NumWallTime Number = iota
+	NumPuts
+	NumPoll
+	NumBlkInfo
+	NumBlkRead
+	NumBlkWrite
+	NumNetInfo
+	NumNetRead
+	NumNetWrite
+	NumMemInfo
+	NumSetTLS
+	NumHalt
+
+	// NumCalls is the size of the hypercall table. The narrowness of
+	// this interface — 12 entries — is asserted by tests.
+	NumCalls
+)
+
+var names = [...]string{
+	"walltime", "puts", "poll",
+	"blkinfo", "blkread", "blkwrite",
+	"netinfo", "netread", "netwrite",
+	"meminfo", "settls", "halt",
+}
+
+// String returns the hypercall's name.
+func (n Number) String() string {
+	if n < 0 || int(n) >= len(names) {
+		return "invalid"
+	}
+	return names[n]
+}
+
+// NetInfo describes the guest's network identity. Every UC is
+// configured with an identical IP and MAC address (§6 Networking),
+// which is what lets snapshots be redeployed across time, cores, and —
+// in future work — machines.
+type NetInfo struct {
+	MAC [6]byte
+	IP  [4]byte
+	MTU int
+}
+
+// DefaultNetInfo is the identity every UC shares.
+var DefaultNetInfo = NetInfo{
+	MAC: [6]byte{0x02, 0x5e, 0x55, 0x00, 0x00, 0x01},
+	IP:  [4]byte{10, 0, 0, 2},
+	MTU: 1500,
+}
+
+// Host is the kernel side of the hypercall interface. libos is its only
+// caller; the SEUSS kernel (internal/core) and the standalone test
+// harnesses provide implementations.
+type Host interface {
+	// WallTime returns nanoseconds since host boot.
+	WallTime() time.Duration
+	// Puts writes console output from the guest.
+	Puts(s string)
+	// Poll blocks the guest until I/O is ready or the timeout expires;
+	// it returns true if I/O became ready.
+	Poll(timeout time.Duration) bool
+	// BlkInfo returns the ramdisk's size in bytes and its sector size.
+	BlkInfo() (capacity int64, sectorSize int)
+	// BlkRead reads one sector into buf.
+	BlkRead(sector int64, buf []byte) error
+	// BlkWrite writes one sector from buf.
+	BlkWrite(sector int64, buf []byte) error
+	// NetInfo returns the guest's network identity.
+	NetInfo() NetInfo
+	// NetRead receives one frame, blocking in virtual time; ok=false
+	// means the device was closed.
+	NetRead() (frame []byte, ok bool)
+	// NetWrite transmits one frame through the per-core network proxy.
+	NetWrite(frame []byte) error
+	// MemInfo returns the guest's memory limit in bytes.
+	MemInfo() int64
+	// SetTLS records the guest's thread-local storage base.
+	SetTLS(base uint64)
+	// Halt terminates the guest with an exit status.
+	Halt(status int)
+}
+
+// Counter wraps a Host and counts crossings per hypercall, charging the
+// domain-crossing cost to a CPU-time sink. It is how the evaluation
+// observes hypercall traffic and how the time model charges crossings.
+type Counter struct {
+	inner  Host
+	counts [NumCalls]int64
+	charge func(time.Duration)
+	cost   time.Duration
+}
+
+// NewCounter returns a counting, cost-charging wrapper around inner.
+// charge may be nil (no time accounting, e.g. unit tests).
+func NewCounter(inner Host, cost time.Duration, charge func(time.Duration)) *Counter {
+	return &Counter{inner: inner, cost: cost, charge: charge}
+}
+
+// Counts returns the per-hypercall crossing counts.
+func (c *Counter) Counts() [NumCalls]int64 { return c.counts }
+
+// Total returns the total number of crossings.
+func (c *Counter) Total() int64 {
+	var t int64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+func (c *Counter) cross(n Number) {
+	c.counts[n]++
+	if c.charge != nil {
+		c.charge(c.cost)
+	}
+}
+
+// WallTime implements Host.
+func (c *Counter) WallTime() time.Duration { c.cross(NumWallTime); return c.inner.WallTime() }
+
+// Puts implements Host.
+func (c *Counter) Puts(s string) { c.cross(NumPuts); c.inner.Puts(s) }
+
+// Poll implements Host.
+func (c *Counter) Poll(timeout time.Duration) bool { c.cross(NumPoll); return c.inner.Poll(timeout) }
+
+// BlkInfo implements Host.
+func (c *Counter) BlkInfo() (int64, int) { c.cross(NumBlkInfo); return c.inner.BlkInfo() }
+
+// BlkRead implements Host.
+func (c *Counter) BlkRead(sector int64, buf []byte) error {
+	c.cross(NumBlkRead)
+	return c.inner.BlkRead(sector, buf)
+}
+
+// BlkWrite implements Host.
+func (c *Counter) BlkWrite(sector int64, buf []byte) error {
+	c.cross(NumBlkWrite)
+	return c.inner.BlkWrite(sector, buf)
+}
+
+// NetInfo implements Host.
+func (c *Counter) NetInfo() NetInfo { c.cross(NumNetInfo); return c.inner.NetInfo() }
+
+// NetRead implements Host.
+func (c *Counter) NetRead() ([]byte, bool) { c.cross(NumNetRead); return c.inner.NetRead() }
+
+// NetWrite implements Host.
+func (c *Counter) NetWrite(frame []byte) error { c.cross(NumNetWrite); return c.inner.NetWrite(frame) }
+
+// MemInfo implements Host.
+func (c *Counter) MemInfo() int64 { c.cross(NumMemInfo); return c.inner.MemInfo() }
+
+// SetTLS implements Host.
+func (c *Counter) SetTLS(base uint64) { c.cross(NumSetTLS); c.inner.SetTLS(base) }
+
+// Halt implements Host.
+func (c *Counter) Halt(status int) { c.cross(NumHalt); c.inner.Halt(status) }
+
+var _ Host = (*Counter)(nil)

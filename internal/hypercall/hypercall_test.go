@@ -1,0 +1,150 @@
+package hypercall
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInterfaceIsNarrow(t *testing.T) {
+	// The security argument of §5: 12 hypercalls vs >300 Linux syscalls.
+	if NumCalls != 12 {
+		t.Fatalf("hypercall table has %d entries, want 12", NumCalls)
+	}
+}
+
+func TestNumberNames(t *testing.T) {
+	if NumWallTime.String() != "walltime" || NumHalt.String() != "halt" {
+		t.Error("names wrong")
+	}
+	if Number(-1).String() != "invalid" || NumCalls.String() != "invalid" {
+		t.Error("out-of-range names")
+	}
+}
+
+func TestCounterCountsAndCharges(t *testing.T) {
+	stub := NewStubHost()
+	var charged time.Duration
+	c := NewCounter(stub, 300*time.Nanosecond, func(d time.Duration) { charged += d })
+	c.Puts("hello")
+	c.Puts("world")
+	c.NetInfo()
+	c.MemInfo()
+	counts := c.Counts()
+	if counts[NumPuts] != 2 || counts[NumNetInfo] != 1 || counts[NumMemInfo] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if charged != 4*300*time.Nanosecond {
+		t.Errorf("charged = %v", charged)
+	}
+	if len(stub.Console) != 2 || stub.Console[0] != "hello" {
+		t.Errorf("console = %v", stub.Console)
+	}
+}
+
+func TestCounterNilCharge(t *testing.T) {
+	c := NewCounter(NewStubHost(), time.Microsecond, nil)
+	c.Halt(0) // must not panic
+	if c.Counts()[NumHalt] != 1 {
+		t.Error("halt not counted")
+	}
+}
+
+func TestStubDisk(t *testing.T) {
+	h := NewStubHost()
+	cap0, sec := h.BlkInfo()
+	if cap0 <= 0 || sec != 512 {
+		t.Errorf("BlkInfo = %d, %d", cap0, sec)
+	}
+	if err := h.BlkWrite(7, []byte("sector-data")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if err := h.BlkRead(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "sector-data" {
+		t.Errorf("read %q", buf)
+	}
+	// Unwritten sectors read as zeros.
+	zero := make([]byte, 4)
+	zero[0] = 0xff
+	h.BlkRead(99, zero)
+	if zero[0] != 0 {
+		t.Error("unwritten sector nonzero")
+	}
+}
+
+func TestStubNetworkLoopback(t *testing.T) {
+	h := NewStubHost()
+	if h.Poll(0) {
+		t.Error("poll true with no frames")
+	}
+	h.NetWrite([]byte{1, 2, 3})
+	if !h.Poll(0) {
+		t.Error("poll false with pending frame")
+	}
+	f, ok := h.NetRead()
+	if !ok || len(f) != 3 || f[2] != 3 {
+		t.Errorf("NetRead = %v, %v", f, ok)
+	}
+	if _, ok := h.NetRead(); ok {
+		t.Error("read from empty device")
+	}
+}
+
+func TestDefaultNetIdentityShared(t *testing.T) {
+	// Every UC has an identical IP and MAC (§6 Networking).
+	a, b := NewStubHost(), NewStubHost()
+	if a.NetInfo() != b.NetInfo() {
+		t.Error("UC network identities differ")
+	}
+	if a.NetInfo().IP != [4]byte{10, 0, 0, 2} {
+		t.Errorf("IP = %v", a.NetInfo().IP)
+	}
+}
+
+func TestStubHalt(t *testing.T) {
+	h := NewStubHost()
+	if h.Halted != -1 {
+		t.Error("initial halted state")
+	}
+	h.Halt(3)
+	if h.Halted != 3 {
+		t.Errorf("Halted = %d", h.Halted)
+	}
+}
+
+func TestCounterCoversAllTwelveCalls(t *testing.T) {
+	stub := NewStubHost()
+	c := NewCounter(stub, 0, nil)
+	c.WallTime()
+	c.Puts("x")
+	c.Poll(0)
+	c.BlkInfo()
+	c.BlkRead(0, make([]byte, 1))
+	c.BlkWrite(0, []byte{1})
+	c.NetInfo()
+	c.NetWrite([]byte{1})
+	c.NetRead()
+	c.MemInfo()
+	c.SetTLS(0x1000)
+	c.Halt(0)
+	counts := c.Counts()
+	for n := Number(0); n < NumCalls; n++ {
+		if counts[n] != 1 {
+			t.Errorf("%s crossed %d times, want 1", n, counts[n])
+		}
+	}
+	if c.Total() != 12 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if stub.TLSBase != 0x1000 {
+		t.Error("SetTLS not forwarded")
+	}
+	if stub.Clock != c.WallTime() {
+		t.Error("WallTime not forwarded")
+	}
+}

@@ -1,0 +1,101 @@
+package hypercall
+
+import "time"
+
+// StubHost is a self-contained Host for tests and standalone guests: a
+// fixed clock source, an in-memory console, a small ramdisk, and a
+// loopback network that delivers written frames back to NetRead.
+type StubHost struct {
+	// Console accumulates Puts output.
+	Console []string
+	// Clock is advanced manually by tests.
+	Clock time.Duration
+	// Disk is the ramdisk contents, sector-indexed.
+	Disk       map[int64][]byte
+	SectorSize int
+	Capacity   int64
+	// Mem is the reported guest memory limit.
+	Mem int64
+	// TLSBase records the last SetTLS.
+	TLSBase uint64
+	// Halted records the exit status passed to Halt, or -1.
+	Halted int
+
+	frames [][]byte
+}
+
+// NewStubHost returns a StubHost with a 64 MB ramdisk and 512 MB guest
+// memory limit.
+func NewStubHost() *StubHost {
+	return &StubHost{
+		Disk:       make(map[int64][]byte),
+		SectorSize: 512,
+		Capacity:   64 << 20,
+		Mem:        512 << 20,
+		Halted:     -1,
+	}
+}
+
+// WallTime implements Host.
+func (h *StubHost) WallTime() time.Duration { return h.Clock }
+
+// Puts implements Host.
+func (h *StubHost) Puts(s string) { h.Console = append(h.Console, s) }
+
+// Poll implements Host.
+func (h *StubHost) Poll(timeout time.Duration) bool { return len(h.frames) > 0 }
+
+// BlkInfo implements Host.
+func (h *StubHost) BlkInfo() (int64, int) { return h.Capacity, h.SectorSize }
+
+// BlkRead implements Host.
+func (h *StubHost) BlkRead(sector int64, buf []byte) error {
+	if data, ok := h.Disk[sector]; ok {
+		copy(buf, data)
+		return nil
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// BlkWrite implements Host.
+func (h *StubHost) BlkWrite(sector int64, buf []byte) error {
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	h.Disk[sector] = cp
+	return nil
+}
+
+// NetInfo implements Host.
+func (h *StubHost) NetInfo() NetInfo { return DefaultNetInfo }
+
+// NetRead implements Host.
+func (h *StubHost) NetRead() ([]byte, bool) {
+	if len(h.frames) == 0 {
+		return nil, false
+	}
+	f := h.frames[0]
+	h.frames = h.frames[1:]
+	return f, true
+}
+
+// NetWrite implements Host (loopback: frames come back on NetRead).
+func (h *StubHost) NetWrite(frame []byte) error {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	h.frames = append(h.frames, cp)
+	return nil
+}
+
+// MemInfo implements Host.
+func (h *StubHost) MemInfo() int64 { return h.Mem }
+
+// SetTLS implements Host.
+func (h *StubHost) SetTLS(base uint64) { h.TLSBase = base }
+
+// Halt implements Host.
+func (h *StubHost) Halt(status int) { h.Halted = status }
+
+var _ Host = (*StubHost)(nil)

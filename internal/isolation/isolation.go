@@ -1,0 +1,259 @@
+// Package isolation implements the Linux-side execution-environment
+// baselines of the Table 3 microbenchmarks: plain processes, Docker
+// containers on the overlay2/bridge stack, and Firecracker microVMs via
+// the Kata backend. Each provides the same contract — create an idle
+// Node.js environment, invoke in it, destroy it — with calibrated cost
+// models for creation latency (including Docker's population- and
+// parallelism-dependent scaling the paper documents) and idle memory
+// footprint.
+//
+// SEUSS UCs satisfy the same contract through internal/core; the
+// Table 3 harness drives all four.
+package isolation
+
+import (
+	"errors"
+	"time"
+
+	"seuss/internal/costs"
+	"seuss/internal/netsim"
+	"seuss/internal/sim"
+)
+
+// ErrOutOfMemory is returned by Create when the node memory budget
+// cannot hold another idle instance.
+var ErrOutOfMemory = errors.New("isolation: node memory exhausted")
+
+// ErrConnTimeout is returned when an instance's network connection
+// drops (bridge saturation) and the platform request times out.
+var ErrConnTimeout = errors.New("isolation: connection timed out")
+
+// MemPool is the node's memory budget shared by all instances of a
+// backend (the 88 GB VM).
+type MemPool struct {
+	budget int64
+	used   int64
+}
+
+// NewMemPool returns a pool with the given byte budget.
+func NewMemPool(budget int64) *MemPool { return &MemPool{budget: budget} }
+
+// Take reserves n bytes; false if the budget would be exceeded.
+func (m *MemPool) Take(n int64) bool {
+	if m.used+n > m.budget {
+		return false
+	}
+	m.used += n
+	return true
+}
+
+// Give returns n bytes.
+func (m *MemPool) Give(n int64) {
+	m.used -= n
+	if m.used < 0 {
+		m.used = 0
+	}
+}
+
+// Used returns reserved bytes.
+func (m *MemPool) Used() int64 { return m.used }
+
+// Available returns free bytes.
+func (m *MemPool) Available() int64 { return m.budget - m.used }
+
+// Instance is one idle-or-busy execution environment.
+type Instance struct {
+	backend *Backend
+	foot    int64
+	dead    bool
+	// Fn is the function code loaded into the instance ("" for a
+	// stemcell that has not imported code yet).
+	Fn string
+}
+
+// Footprint returns the instance's idle memory footprint in bytes.
+func (i *Instance) Footprint() int64 { return i.foot }
+
+// Kind is the isolation technology.
+type Kind int
+
+// The isolation methods of Table 3.
+const (
+	KindProcess Kind = iota
+	KindContainer
+	KindMicroVM
+)
+
+var kindNames = [...]string{"process", "container", "microvm"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string { return kindNames[k] }
+
+// Backend creates and destroys instances of one isolation kind,
+// applying that kind's cost model.
+type Backend struct {
+	kind     Kind
+	mem      *MemPool
+	bridge   *netsim.Bridge // containers only
+	rng      *sim.RNG
+	pop      int // live instances
+	inflight int // concurrent creations (Docker daemon contention)
+
+	// Created / Destroyed count lifetime churn.
+	Created   int64
+	Destroyed int64
+}
+
+// NewBackend returns a backend of the given kind drawing from mem.
+// bridge may be nil for non-container kinds.
+func NewBackend(kind Kind, mem *MemPool, bridge *netsim.Bridge, rng *sim.RNG) *Backend {
+	return &Backend{kind: kind, mem: mem, bridge: bridge, rng: rng}
+}
+
+// Kind returns the backend's isolation kind.
+func (b *Backend) Kind() Kind { return b.kind }
+
+// Population returns the number of live instances.
+func (b *Backend) Population() int { return b.pop }
+
+// InFlight returns the number of creations currently in progress.
+func (b *Backend) InFlight() int { return b.inflight }
+
+// idleBytes returns the marginal idle footprint for the kind.
+func (b *Backend) idleBytes() int64 {
+	switch b.kind {
+	case KindProcess:
+		return costs.ProcessIdleBytes
+	case KindContainer:
+		return costs.ContainerIdleBytes
+	default:
+		return costs.MicroVMIdleBytes
+	}
+}
+
+// createLatency returns the modeled creation time at the current
+// population and parallelism. The Docker model encodes the paper's two
+// observed scalability problems: latency proportional to the number of
+// containers on the system, and latency proportional to the number of
+// concurrent creations in flight.
+func (b *Backend) createLatency() time.Duration {
+	switch b.kind {
+	case KindProcess:
+		return b.rng.Jitter(costs.ProcessCreate, 0.05)
+	case KindContainer:
+		d := costs.ContainerCreateBase
+		d += time.Duration(b.pop) * costs.ContainerCreatePerExisting
+		if b.inflight > 1 {
+			par := b.inflight - 1
+			if par > costs.DockerDaemonPool-1 {
+				par = costs.DockerDaemonPool - 1
+			}
+			d += time.Duration(par) * costs.ContainerCreatePerParallel
+		}
+		if over := b.inflight - costs.DockerDaemonPool; over > 0 {
+			d += time.Duration(over) * costs.ContainerCreateThrash
+		}
+		return b.rng.Jitter(d, 0.05)
+	default:
+		d := costs.MicroVMCreate
+		if b.inflight > 1 {
+			d += time.Duration(b.inflight-1) * costs.MicroVMCreatePerParallel
+		}
+		return b.rng.Jitter(d, 0.05)
+	}
+}
+
+// Create provisions one idle Node.js environment, blocking p for the
+// modeled duration. It fails with ErrOutOfMemory when the node is
+// saturated — the density limit of Table 3.
+func (b *Backend) Create(p *sim.Proc) (*Instance, error) {
+	foot := b.idleBytes()
+	if !b.mem.Take(foot) {
+		return nil, ErrOutOfMemory
+	}
+	b.inflight++
+	d := b.createLatency()
+	p.Sleep(d)
+	b.inflight--
+	b.pop++
+	b.Created++
+	if b.kind == KindContainer && b.bridge != nil {
+		b.bridge.Attach()
+		// The new endpoint's first connection can already hit a
+		// saturated bridge.
+		if !b.bridge.Connect() {
+			p.Sleep(costs.ConnTimeout)
+			b.destroyLocked(p, &Instance{backend: b, foot: foot})
+			return nil, ErrConnTimeout
+		}
+	}
+	return &Instance{backend: b, foot: foot}, nil
+}
+
+// Prewarm provisions an instance instantly — platform setup that
+// happens before the measurement clock starts (e.g. populating the
+// initial stemcell pool on a fresh deployment). Memory and bridge
+// accounting are identical to Create; only the latency is skipped.
+func (b *Backend) Prewarm() (*Instance, error) {
+	foot := b.idleBytes()
+	if !b.mem.Take(foot) {
+		return nil, ErrOutOfMemory
+	}
+	b.pop++
+	b.Created++
+	if b.kind == KindContainer && b.bridge != nil {
+		b.bridge.Attach()
+	}
+	return &Instance{backend: b, foot: foot}, nil
+}
+
+// Invoke runs one cached (warm/hot) invocation in the instance: the
+// platform connects to the in-instance server, passes arguments, and
+// the function runs for fnCPU.
+func (b *Backend) Invoke(p *sim.Proc, inst *Instance, fnCPU time.Duration) error {
+	if inst.dead {
+		return errors.New("isolation: invoke on destroyed instance")
+	}
+	if b.kind == KindContainer && b.bridge != nil {
+		if !b.bridge.Connect() {
+			p.Sleep(costs.ConnTimeout)
+			return ErrConnTimeout
+		}
+	}
+	switch b.kind {
+	case KindProcess:
+		p.Sleep(costs.ProcessWarmInvoke)
+	default:
+		p.Sleep(costs.ContainerWarmInvoke)
+	}
+	if fnCPU > 0 {
+		p.Sleep(fnCPU)
+	}
+	return nil
+}
+
+// Destroy tears the instance down, releasing memory and its bridge
+// endpoint.
+func (b *Backend) Destroy(p *sim.Proc, inst *Instance) {
+	if inst.dead {
+		return
+	}
+	if b.kind == KindContainer {
+		p.Sleep(costs.ContainerDestroy)
+	} else {
+		p.Sleep(10 * time.Millisecond)
+	}
+	b.destroyLocked(p, inst)
+}
+
+func (b *Backend) destroyLocked(_ *sim.Proc, inst *Instance) {
+	inst.dead = true
+	b.mem.Give(inst.foot)
+	if b.pop > 0 {
+		b.pop--
+	}
+	b.Destroyed++
+	if b.kind == KindContainer && b.bridge != nil {
+		b.bridge.Detach()
+	}
+}

@@ -1,0 +1,91 @@
+package lang
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// parseJSON converts a JSON document into MiniJS values, charging the
+// resulting structures to the guest heap. It rides on encoding/json and
+// converts the generic representation.
+func parseJSON(in *Interp, s string) (Value, error) {
+	var raw interface{}
+	if err := json.Unmarshal([]byte(s), &raw); err != nil {
+		return nil, fmt.Errorf("JSON.parse: %v", err)
+	}
+	return fromGo(in, raw), nil
+}
+
+func fromGo(in *Interp, raw interface{}) Value {
+	switch t := raw.(type) {
+	case nil:
+		return Null{}
+	case bool:
+		return t
+	case float64:
+		return t
+	case string:
+		in.alloc(len(t))
+		return t
+	case []interface{}:
+		arr := &Array{Elems: make([]Value, len(t))}
+		in.alloc(24 + 16*len(t))
+		for i, e := range t {
+			arr.Elems[i] = fromGo(in, e)
+		}
+		return arr
+	case map[string]interface{}:
+		obj := NewObject()
+		in.alloc(48)
+		// Note: Go maps iterate in random order; sort for determinism.
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			in.alloc(32 + len(k))
+			obj.Set(k, fromGo(in, t[k]))
+		}
+		return obj
+	}
+	return Undefined{}
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// GoValue converts a MiniJS value into plain Go data (for host-side
+// inspection of results).
+func GoValue(v Value) interface{} {
+	switch t := v.(type) {
+	case nil, Undefined:
+		return nil
+	case Null:
+		return nil
+	case bool:
+		return t
+	case float64:
+		return t
+	case string:
+		return t
+	case *Array:
+		out := make([]interface{}, len(t.Elems))
+		for i, e := range t.Elems {
+			out[i] = GoValue(e)
+		}
+		return out
+	case *Object:
+		out := make(map[string]interface{}, t.Len())
+		for _, k := range t.Keys() {
+			out[k] = GoValue(t.Get(k))
+		}
+		return out
+	}
+	return ToString(v)
+}

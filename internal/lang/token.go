@@ -1,0 +1,80 @@
+// Package lang implements MiniJS, the high-level scripting language
+// interpreted inside SEUSS unikernel contexts.
+//
+// The paper runs serverless functions on Node.js and Python ports
+// linked into Rumprun unikernels. We cannot embed V8, so MiniJS stands
+// in: a JavaScript-flavored language with closures, objects, arrays,
+// prototypal method dispatch on builtins, and a small standard library.
+// What matters for the reproduction is not language completeness but
+// that the interpreter is *real*: importing a function parses source
+// into an AST, evaluation allocates values, and — through the Hooks
+// interface — every allocation lands in the UC's simulated address
+// space and every evaluation step advances the virtual clock. Snapshot
+// diffs, AO effects, and compile overheads then emerge from running
+// code rather than from constants.
+package lang
+
+import "fmt"
+
+// TokenKind enumerates lexical token types.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokNumber
+	TokString
+	TokIdent
+	TokKeyword
+	TokPunct
+	TokTemplate
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF:      "EOF",
+	TokNumber:   "number",
+	TokString:   "string",
+	TokIdent:    "identifier",
+	TokKeyword:  "keyword",
+	TokPunct:    "punctuation",
+	TokTemplate: "template",
+}
+
+// String implements fmt.Stringer.
+func (k TokenKind) String() string { return kindNames[k] }
+
+// Token is one lexical token with source position for error reporting.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Num  float64 // valid when Kind == TokNumber
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d:%d", t.Kind, t.Text, t.Line, t.Col)
+}
+
+var keywords = map[string]bool{
+	"var": true, "let": true, "const": true, "function": true,
+	"return": true, "if": true, "else": true, "while": true,
+	"for": true, "break": true, "continue": true, "true": true,
+	"false": true, "null": true, "undefined": true, "new": true,
+	"typeof": true, "throw": true, "try": true, "catch": true,
+	"in": true, "of": true, "switch": true, "case": true,
+	"default": true, "do": true,
+}
+
+// SyntaxError is returned by Parse for malformed source.
+type SyntaxError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minijs: syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,67 @@
+package mem
+
+import "crypto/sha256"
+
+// DedupStats reports what a KSM-style retroactive deduplication scan
+// would find. §5 contrasts SEUSS's ahead-of-time page sharing with
+// KSM: SEUSS shares structurally (CoW from snapshots), so a scanner
+// that fingerprints materialized frames finds little left to merge —
+// and, unlike KSM, SEUSS sharing cannot leak co-residency through
+// merge-timing side channels because it is never applied retroactively.
+type DedupStats struct {
+	// Scanned is the number of frames with materialized contents
+	// (unmaterialized zero frames are implicitly deduplicated already).
+	Scanned int
+	// Duplicates is the number of frames whose contents equal some
+	// earlier frame's — the pages KSM could merge.
+	Duplicates int
+	// DuplicateBytes is Duplicates * PageSize.
+	DuplicateBytes int64
+	// ZeroFrames counts unmaterialized (implicit zero) frames in use.
+	ZeroFrames int
+}
+
+// Scanner fingerprints frame contents, modeling a KSM pass over the
+// node's memory. Frames are registered as they materialize; Scan
+// reports merge opportunities without performing merges (SEUSS never
+// merges retroactively).
+type Scanner struct {
+	frames map[FrameID]*Frame
+}
+
+// NewScanner returns an empty scanner.
+func NewScanner() *Scanner {
+	return &Scanner{frames: make(map[FrameID]*Frame)}
+}
+
+// Track registers a frame for scanning.
+func (s *Scanner) Track(f *Frame) { s.frames[f.id] = f }
+
+// Untrack removes a frame (freed or out of scope).
+func (s *Scanner) Untrack(id FrameID) { delete(s.frames, id) }
+
+// Scan fingerprints every tracked live frame and reports duplicates.
+func (s *Scanner) Scan() DedupStats {
+	var stats DedupStats
+	seen := make(map[[32]byte]bool)
+	buf := make([]byte, PageSize)
+	for _, f := range s.frames {
+		if f.refs <= 0 {
+			continue
+		}
+		if !f.Materialized() {
+			stats.ZeroFrames++
+			continue
+		}
+		stats.Scanned++
+		f.Read(0, buf)
+		sum := sha256.Sum256(buf)
+		if seen[sum] {
+			stats.Duplicates++
+			stats.DuplicateBytes += PageSize
+		} else {
+			seen[sum] = true
+		}
+	}
+	return stats
+}

@@ -1,0 +1,220 @@
+// Package mem simulates the physical memory of the SEUSS compute node.
+//
+// The paper's evaluation runs inside an 88 GB QEMU-KVM virtual machine;
+// snapshot sizes, per-invocation footprints, and cache-density limits are
+// all statements about how many 4 KB physical frames are in use and how
+// they are shared. This package provides that substrate: a frame
+// allocator with reference counting (frames are shared read-only between
+// snapshots and unikernel contexts), byte-level accounting against a
+// configurable budget, and *lazy* frame contents so density experiments
+// with 50 000+ cached contexts fit in laptop RAM — a frame's 4 KB payload
+// is only materialized when something writes actual bytes into it.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of a physical frame in bytes, matching x86-64.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// ErrOutOfMemory is returned by Alloc when the store's byte budget is
+// exhausted. The SEUSS OOM policy (§6 Memory Management) reacts to this
+// by reclaiming idle UCs.
+var ErrOutOfMemory = errors.New("mem: out of physical memory")
+
+// FrameID identifies a physical frame within a Store.
+type FrameID uint64
+
+// Frame is a 4 KB physical frame. Frames are reference counted: page
+// tables, snapshots, and UCs that map a frame hold a reference, and the
+// frame returns to the allocator when the last reference drops.
+type Frame struct {
+	id   FrameID
+	refs int32
+	data []byte // nil until materialized; nil reads as all zeros
+	st   *Store
+}
+
+// ID returns the frame's identifier.
+func (f *Frame) ID() FrameID { return f.id }
+
+// Refs returns the current reference count.
+func (f *Frame) Refs() int32 { return f.refs }
+
+// Materialized reports whether the frame's 4 KB payload is backed by
+// real bytes (true) or is an implicit zero page (false).
+func (f *Frame) Materialized() bool { return f.data != nil }
+
+// Write copies data into the frame at off, materializing the payload on
+// first write. It panics if the write would run past the frame: callers
+// are simulating hardware and must respect page bounds.
+func (f *Frame) Write(off int, data []byte) {
+	if off < 0 || off+len(data) > PageSize {
+		panic(fmt.Sprintf("mem: write [%d,%d) outside frame", off, off+len(data)))
+	}
+	if len(data) == 0 {
+		return
+	}
+	if f.data == nil {
+		f.data = make([]byte, PageSize)
+		f.st.materialized++
+		if f.st.scanner != nil {
+			f.st.scanner.Track(f)
+		}
+	}
+	copy(f.data[off:], data)
+}
+
+// Read copies the frame's bytes at off into dst. Unmaterialized frames
+// read as zeros.
+func (f *Frame) Read(off int, dst []byte) {
+	if off < 0 || off+len(dst) > PageSize {
+		panic(fmt.Sprintf("mem: read [%d,%d) outside frame", off, off+len(dst)))
+	}
+	if f.data == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst, f.data[off:])
+}
+
+// Store is a physical memory allocator with a byte budget.
+type Store struct {
+	budget       int64 // total bytes; 0 means unlimited
+	nextID       FrameID
+	inUse        int64 // frames currently allocated
+	highWater    int64
+	materialized int64 // frames with real payloads
+	allocs       int64 // lifetime allocation count
+	frees        int64
+	scanner      *Scanner // optional KSM-style content scanner
+}
+
+// AttachScanner registers a deduplication scanner: every frame that
+// materializes content is tracked, and frees untrack. Used by the
+// §5 KSM-contrast ablation.
+func (s *Store) AttachScanner(sc *Scanner) { s.scanner = sc }
+
+// NewStore returns a store with the given byte budget. A budget of 0
+// means unlimited (useful for unit tests); the paper's compute node uses
+// 88 GB.
+func NewStore(budget int64) *Store {
+	return &Store{budget: budget}
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (s *Store) Budget() int64 { return s.budget }
+
+// Alloc returns a fresh frame with reference count 1, or ErrOutOfMemory
+// if the budget would be exceeded.
+func (s *Store) Alloc() (*Frame, error) {
+	if s.budget > 0 && (s.inUse+1)*PageSize > s.budget {
+		return nil, ErrOutOfMemory
+	}
+	s.nextID++
+	s.inUse++
+	s.allocs++
+	if s.inUse > s.highWater {
+		s.highWater = s.inUse
+	}
+	return &Frame{id: s.nextID, refs: 1, st: s}, nil
+}
+
+// MustAlloc is Alloc for contexts where the budget is known to hold
+// (tests, bootstrapping); it panics on exhaustion.
+func (s *Store) MustAlloc() *Frame {
+	f, err := s.Alloc()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// IncRef adds a reference to the frame (a new mapping or snapshot
+// capture of it).
+func (s *Store) IncRef(f *Frame) {
+	if f.refs <= 0 {
+		panic("mem: IncRef on freed frame")
+	}
+	f.refs++
+}
+
+// DecRef drops a reference; when the count reaches zero the frame is
+// returned to the allocator.
+func (s *Store) DecRef(f *Frame) {
+	if f.refs <= 0 {
+		panic("mem: DecRef on freed frame")
+	}
+	f.refs--
+	if f.refs == 0 {
+		if f.data != nil {
+			f.data = nil
+			s.materialized--
+			if s.scanner != nil {
+				s.scanner.Untrack(f.id)
+			}
+		}
+		s.inUse--
+		s.frees++
+		f.st = nil
+	}
+}
+
+// Clone allocates a new frame containing a copy of src's bytes — the
+// copy-on-write resolution path. Unmaterialized sources clone to
+// unmaterialized (zero) frames at no real-memory cost.
+func (s *Store) Clone(src *Frame) (*Frame, error) {
+	f, err := s.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if src.data != nil {
+		f.data = make([]byte, PageSize)
+		copy(f.data, src.data)
+		s.materialized++
+		if s.scanner != nil {
+			s.scanner.Track(f)
+		}
+	}
+	return f, nil
+}
+
+// Stats is a point-in-time snapshot of the store's accounting.
+type Stats struct {
+	FramesInUse  int64
+	BytesInUse   int64
+	HighWater    int64 // frames
+	Materialized int64 // frames with real payloads
+	Allocs       int64
+	Frees        int64
+	Budget       int64
+}
+
+// Stats returns current accounting.
+func (s *Store) Stats() Stats {
+	return Stats{
+		FramesInUse:  s.inUse,
+		BytesInUse:   s.inUse * PageSize,
+		HighWater:    s.highWater,
+		Materialized: s.materialized,
+		Allocs:       s.allocs,
+		Frees:        s.frees,
+		Budget:       s.budget,
+	}
+}
+
+// Available returns how many more frames fit in the budget, or -1 for
+// unlimited stores.
+func (s *Store) Available() int64 {
+	if s.budget == 0 {
+		return -1
+	}
+	return s.budget/PageSize - s.inUse
+}

@@ -1,0 +1,129 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seuss/internal/mem"
+)
+
+// modelOp is one operation in a random sequence checked against a
+// shadow reference model (a plain map from page to last written byte).
+type modelOp struct {
+	Kind  uint8 // 0 store, 1 clone-and-switch, 2 release-clone, 3 capture-like downgrade
+	Page  uint8
+	Value byte
+}
+
+// TestQuickModelConformance drives random operation sequences through
+// the page-table substrate and a trivial reference model in lockstep:
+// after every step, every page the model knows must read back the
+// model's value through the current address space.
+func TestQuickModelConformance(t *testing.T) {
+	const pages = 24
+	prop := func(ops []modelOp) bool {
+		st := mem.NewStore(0)
+		cur, err := New(st)
+		if err != nil {
+			return false
+		}
+		var parents []*AddressSpace
+		model := map[uint64]byte{}
+
+		check := func() bool {
+			for page, want := range model {
+				b := make([]byte, 1)
+				if err := cur.Load(page*mem.PageSize, b); err != nil {
+					return false
+				}
+				if b[0] != want {
+					return false
+				}
+			}
+			return true
+		}
+
+		for _, op := range ops {
+			page := uint64(op.Page % pages)
+			switch op.Kind % 4 {
+			case 0: // store
+				if cur.Frozen() {
+					continue
+				}
+				if err := cur.Store(page*mem.PageSize, []byte{op.Value}); err != nil {
+					return false
+				}
+				model[page] = op.Value
+			case 1: // snapshot-style capture + deploy: downgrade, clone, switch
+				if cur.Frozen() {
+					continue
+				}
+				cur.SetCoWAll()
+				cur.ClearDirty()
+				cur.Freeze()
+				child, err := cur.Clone()
+				if err != nil {
+					return false
+				}
+				parents = append(parents, cur)
+				cur = child
+				// The model is unchanged: the clone sees everything.
+			case 2: // release an old parent: must not disturb cur
+				if len(parents) > 1 {
+					// Keep the lineage alive: release only the oldest
+					// ancestor beyond the immediate parent. Snapshot
+					// semantics forbid deleting depended-on images;
+					// dropping a leaf reference is always safe.
+					parents[0].Release()
+					parents = parents[1:]
+				}
+			case 3: // redundant downgrade on a live space
+				if !cur.Frozen() {
+					cur.SetCoWAll()
+					// Still writable via CoW faults; model unchanged.
+				}
+			}
+			if !check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDirtyMatchesModel verifies the dirty set always equals the
+// set of pages stored-to since the last clear.
+func TestQuickDirtyMatchesModel(t *testing.T) {
+	prop := func(writes []uint8, clearAt uint8) bool {
+		as, err := New(mem.NewStore(0))
+		if err != nil {
+			return false
+		}
+		expected := map[uint64]bool{}
+		for i, w := range writes {
+			if i == int(clearAt) {
+				as.ClearDirty()
+				expected = map[uint64]bool{}
+			}
+			page := uint64(w % 48)
+			as.Store(page*mem.PageSize, []byte{1})
+			expected[page*mem.PageSize] = true
+		}
+		got := as.DirtyPages()
+		if len(got) != len(expected) {
+			return false
+		}
+		for _, va := range got {
+			if !expected[va] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

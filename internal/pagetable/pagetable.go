@@ -1,0 +1,580 @@
+// Package pagetable implements x86-64-style 4-level page tables over
+// simulated physical frames.
+//
+// SEUSS captures snapshots and deploys unikernel contexts by direct
+// manipulation of hardware page tables (§6): deployment is a shallow
+// copy of a snapshot's page-table structure, writes are tracked with
+// dirty bits, and faults are resolved by allocating a new page, cloning
+// a page from the backing snapshot stack, or installing a read-only
+// mapping into the stack. This package reproduces those operations
+// bit-for-bit in simulation:
+//
+//   - A virtual address space is a radix tree of 512-entry nodes
+//     (PML4 → PDPT → PD → PT) mapping 48-bit canonical addresses.
+//   - Interior nodes are reference counted and shared copy-on-write
+//     between address spaces: Clone copies only the root, so deploying
+//     a UC from a 100 MB snapshot touches one node.
+//   - Leaf entries carry Present/Writable/Dirty/Accessed bits plus a
+//     software CoW bit; stores to CoW pages clone the frame, stores to
+//     unmapped pages allocate demand-zero frames, and every store sets
+//     the dirty bit and lands on the address space's dirty list — the
+//     exact state snapshot capture consumes.
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"seuss/internal/mem"
+)
+
+// Flags are per-leaf-entry permission and status bits.
+type Flags uint8
+
+const (
+	// FlagPresent marks the entry as mapped.
+	FlagPresent Flags = 1 << iota
+	// FlagWritable allows stores without a fault.
+	FlagWritable
+	// FlagUser allows ring-3 (UC) access; all UC mappings carry it.
+	FlagUser
+	// FlagAccessed is set by any load or store (hardware A bit).
+	FlagAccessed
+	// FlagDirty is set by any store (hardware D bit).
+	FlagDirty
+	// FlagCoW is the software copy-on-write bit: the entry references a
+	// frame owned by a snapshot; the first store clones it.
+	FlagCoW
+)
+
+const (
+	levels     = 4
+	entriesPer = 512
+	indexBits  = 9
+	indexMask  = entriesPer - 1
+	// MaxVirtual is one past the highest mappable virtual address
+	// (48-bit canonical lower half).
+	MaxVirtual = uint64(1) << 48
+)
+
+// ErrBadAddress is returned for virtual addresses outside the canonical
+// range or not page-aligned where alignment is required.
+var ErrBadAddress = errors.New("pagetable: bad virtual address")
+
+// ErrNotMapped is returned when an operation requires an existing
+// mapping.
+var ErrNotMapped = errors.New("pagetable: address not mapped")
+
+// index extracts the radix index for the given level (3 = PML4 … 0 = PT).
+func index(va uint64, level int) int {
+	return int((va >> (mem.PageShift + indexBits*level)) & indexMask)
+}
+
+// PageBase returns va rounded down to its page base.
+func PageBase(va uint64) uint64 { return va &^ uint64(mem.PageSize-1) }
+
+type entry struct {
+	child *node      // interior levels
+	frame *mem.Frame // leaf level
+	flags Flags
+}
+
+type node struct {
+	level   int
+	refs    int32
+	frame   *mem.Frame // accounting: the node itself occupies one frame
+	entries [entriesPer]entry
+}
+
+// FaultKind classifies resolved page faults, mirroring §6's three
+// resolution semantics.
+type FaultKind int
+
+const (
+	// FaultDemandZero: store to an unmapped page; a fresh zero frame is
+	// allocated.
+	FaultDemandZero FaultKind = iota
+	// FaultCoW: store to a read-only CoW page; the frame is cloned.
+	FaultCoW
+	// FaultSharedMap: load of a page present only in the backing
+	// snapshot stack; resolved with a read-only mapping (counted by the
+	// snapshot layer).
+	FaultSharedMap
+)
+
+// FaultStats counts faults resolved since the address space was created
+// or stats were reset. The paper's Table 1 reports "pages copied" per
+// invocation path; CoW+DemandZero is that number.
+type FaultStats struct {
+	DemandZero  int
+	CoW         int
+	SharedMap   int
+	TableClones int // interior nodes privatized by CoW-on-write paths
+}
+
+// Copied returns the number of private pages created by faults.
+func (f FaultStats) Copied() int { return f.DemandZero + f.CoW }
+
+// AddressSpace is one virtual address space: a UC's, or the immutable
+// space held by a snapshot.
+type AddressSpace struct {
+	st    *mem.Store
+	root  *node
+	dirty map[uint64]struct{} // page-base VAs written since last ClearDirty
+	// Faults accumulates fault-resolution counts; see FaultStats.
+	Faults FaultStats
+	mapped int // present leaf entries reachable (maintained incrementally)
+	frozen bool
+}
+
+// New returns an empty address space backed by st.
+func New(st *mem.Store) (*AddressSpace, error) {
+	root, err := newNode(st, levels-1)
+	if err != nil {
+		return nil, err
+	}
+	return &AddressSpace{st: st, root: root, dirty: make(map[uint64]struct{})}, nil
+}
+
+func newNode(st *mem.Store, level int) (*node, error) {
+	f, err := st.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	return &node{level: level, refs: 1, frame: f}, nil
+}
+
+// Backing returns the physical memory store behind this space.
+func (as *AddressSpace) Backing() *mem.Store { return as.st }
+
+// Freeze marks the space immutable: further stores panic. Snapshots
+// freeze their spaces; sharing is then always safe.
+func (as *AddressSpace) Freeze() { as.frozen = true }
+
+// Frozen reports whether the space is immutable.
+func (as *AddressSpace) Frozen() bool { return as.frozen }
+
+// MappedPages returns the number of present leaf mappings.
+func (as *AddressSpace) MappedPages() int { return as.mapped }
+
+// Clone returns a new address space sharing this one's entire tree:
+// only the root node is copied; children are reference counted. This is
+// the paper's "shallow copy of snapshot page table structure" — the
+// cost of deploying a UC is independent of the snapshot's size.
+//
+// The source's leaf entries are inherited as-is, so the source must
+// have been downgraded to read-only CoW (SetCoWAll) and frozen first;
+// the snapshot layer enforces this. Cloning a space with writable
+// entries would alias writable frames between spaces.
+func (as *AddressSpace) Clone() (*AddressSpace, error) {
+	root, err := newNode(as.st, levels-1)
+	if err != nil {
+		return nil, err
+	}
+	for i := range as.root.entries {
+		e := as.root.entries[i]
+		if e.child != nil {
+			e.child.refs++
+		}
+		root.entries[i] = e
+	}
+	return &AddressSpace{
+		st:     as.st,
+		root:   root,
+		dirty:  make(map[uint64]struct{}),
+		mapped: as.mapped,
+	}, nil
+}
+
+// privatize returns a private copy of n (refs==1), cloning it if shared.
+// Child references are adjusted; the caller must install the result in
+// the parent entry.
+func (as *AddressSpace) privatize(n *node) (*node, error) {
+	if n.refs == 1 {
+		return n, nil
+	}
+	cp, err := newNode(as.st, n.level)
+	if err != nil {
+		return nil, err
+	}
+	for i := range n.entries {
+		e := n.entries[i]
+		if e.child != nil {
+			e.child.refs++
+		}
+		if e.frame != nil {
+			as.st.IncRef(e.frame)
+		}
+		cp.entries[i] = e
+	}
+	releaseNode(as.st, n)
+	as.Faults.TableClones++
+	return cp, nil
+}
+
+// releaseNode drops one reference; at zero it releases children and the
+// node's accounting frame.
+func releaseNode(st *mem.Store, n *node) {
+	n.refs--
+	if n.refs > 0 {
+		return
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.child != nil {
+			releaseNode(st, e.child)
+		}
+		if e.frame != nil {
+			st.DecRef(e.frame)
+		}
+	}
+	st.DecRef(n.frame)
+}
+
+// Release frees the address space: every shared node and frame loses one
+// reference. The space must not be used afterwards.
+func (as *AddressSpace) Release() {
+	if as.root != nil {
+		releaseNode(as.st, as.root)
+		as.root = nil
+	}
+}
+
+// walk descends to the leaf node containing va. If build is true,
+// missing interior nodes are created and shared nodes on the path are
+// privatized (CoW of the table structure itself). Returns the PT-level
+// node, or nil if absent and !build.
+func (as *AddressSpace) walk(va uint64, build bool) (*node, error) {
+	if va >= MaxVirtual {
+		return nil, ErrBadAddress
+	}
+	n := as.root
+	for level := levels - 1; level > 0; level-- {
+		idx := index(va, level)
+		e := &n.entries[idx]
+		if e.child == nil {
+			if !build {
+				return nil, nil
+			}
+			child, err := newNode(as.st, level-1)
+			if err != nil {
+				return nil, err
+			}
+			e.child = child
+		} else if build && e.child.refs > 1 {
+			cp, err := as.privatize(e.child)
+			if err != nil {
+				return nil, err
+			}
+			e.child = cp
+		}
+		n = e.child
+	}
+	return n, nil
+}
+
+// MapFrame installs frame at page-aligned va with the given flags,
+// taking a reference on the frame. An existing mapping is replaced (its
+// frame reference dropped).
+func (as *AddressSpace) MapFrame(va uint64, f *mem.Frame, flags Flags) error {
+	if as.frozen {
+		panic("pagetable: mutation of frozen address space")
+	}
+	if va%mem.PageSize != 0 {
+		return ErrBadAddress
+	}
+	pt, err := as.walk(va, true)
+	if err != nil {
+		return err
+	}
+	e := &pt.entries[index(va, 0)]
+	if e.frame != nil {
+		as.st.DecRef(e.frame)
+	} else {
+		as.mapped++
+	}
+	as.st.IncRef(f)
+	e.frame = f
+	e.flags = flags | FlagPresent
+	return nil
+}
+
+// Unmap removes the mapping at va if present, dropping the frame
+// reference.
+func (as *AddressSpace) Unmap(va uint64) error {
+	if as.frozen {
+		panic("pagetable: mutation of frozen address space")
+	}
+	if va%mem.PageSize != 0 {
+		return ErrBadAddress
+	}
+	pt, err := as.walk(va, true)
+	if err != nil {
+		return err
+	}
+	if pt == nil {
+		return ErrNotMapped
+	}
+	e := &pt.entries[index(va, 0)]
+	if e.frame == nil {
+		return ErrNotMapped
+	}
+	as.st.DecRef(e.frame)
+	*e = entry{}
+	as.mapped--
+	delete(as.dirty, va)
+	return nil
+}
+
+// Translate returns the frame and flags mapped at va's page, or ok=false.
+// It does not set the accessed bit (use Load/Store for access
+// semantics).
+func (as *AddressSpace) Translate(va uint64) (*mem.Frame, Flags, bool) {
+	pt, err := as.walk(PageBase(va), false)
+	if err != nil || pt == nil {
+		return nil, 0, false
+	}
+	e := pt.entries[index(va, 0)]
+	if e.frame == nil {
+		return nil, 0, false
+	}
+	return e.frame, e.flags, true
+}
+
+// Load copies memory at va into dst, crossing page boundaries as
+// needed. Unmapped pages read as zeros (the shared zero page). Load
+// does not set accessed bits: leaf nodes may be shared with frozen
+// snapshots, and nothing in the capture path consumes the A bit.
+func (as *AddressSpace) Load(va uint64, dst []byte) error {
+	for len(dst) > 0 {
+		if va >= MaxVirtual {
+			return ErrBadAddress
+		}
+		off := int(va % mem.PageSize)
+		n := mem.PageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		pt, err := as.walk(PageBase(va), false)
+		if err != nil {
+			return err
+		}
+		if pt == nil {
+			zero(dst[:n])
+		} else {
+			e := &pt.entries[index(va, 0)]
+			if e.frame == nil {
+				zero(dst[:n])
+			} else {
+				e.frame.Read(off, dst[:n])
+			}
+		}
+		dst = dst[n:]
+		va += uint64(n)
+	}
+	return nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Store writes data at va, crossing page boundaries, resolving faults
+// exactly as the SEUSS kernel handler does: demand-zero for unmapped
+// pages, frame clones for CoW pages. Dirty bits are set and the dirty
+// list updated.
+func (as *AddressSpace) Store(va uint64, data []byte) error {
+	for len(data) > 0 {
+		if va >= MaxVirtual {
+			return ErrBadAddress
+		}
+		off := int(va % mem.PageSize)
+		n := mem.PageSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		f, err := as.faultForWrite(PageBase(va))
+		if err != nil {
+			return err
+		}
+		f.Write(off, data[:n])
+		data = data[n:]
+		va += uint64(n)
+	}
+	return nil
+}
+
+// Touch dirties the page containing va without materializing content:
+// the simulation's fast path for workloads where only footprint, not
+// byte fidelity, matters. Fault semantics are identical to Store.
+func (as *AddressSpace) Touch(va uint64) error {
+	_, err := as.faultForWrite(PageBase(va))
+	return err
+}
+
+// TouchRange dirties every page in [va, va+size).
+func (as *AddressSpace) TouchRange(va uint64, size uint64) error {
+	for p := PageBase(va); p < va+size; p += mem.PageSize {
+		if err := as.Touch(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultForWrite makes the page at page-base va privately writable,
+// resolving demand-zero and CoW faults, and returns its frame.
+func (as *AddressSpace) faultForWrite(va uint64) (*mem.Frame, error) {
+	if as.frozen {
+		panic("pagetable: store to frozen address space")
+	}
+	pt, err := as.walk(va, true)
+	if err != nil {
+		return nil, err
+	}
+	e := &pt.entries[index(va, 0)]
+	switch {
+	case e.frame == nil:
+		// Demand-zero fault: allocate a fresh frame.
+		f, err := as.st.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		e.frame = f
+		e.flags = FlagPresent | FlagWritable | FlagUser
+		as.mapped++
+		as.Faults.DemandZero++
+	case e.flags&FlagWritable == 0 && e.flags&FlagCoW != 0:
+		// CoW fault: clone the snapshot's frame; all writes land on a
+		// page dedicated exclusively to this UC (§5).
+		f, err := as.st.Clone(e.frame)
+		if err != nil {
+			return nil, err
+		}
+		as.st.DecRef(e.frame)
+		e.frame = f
+		e.flags = (e.flags &^ FlagCoW) | FlagWritable
+		as.Faults.CoW++
+	case e.flags&FlagWritable == 0:
+		return nil, fmt.Errorf("pagetable: write protection fault at %#x", va)
+	}
+	e.flags |= FlagDirty | FlagAccessed
+	as.dirty[va] = struct{}{}
+	return e.frame, nil
+}
+
+// DirtyPages returns the sorted page-base addresses written since
+// creation or the last ClearDirty — the set snapshot capture clones.
+func (as *AddressSpace) DirtyPages() []uint64 {
+	out := make([]uint64, 0, len(as.dirty))
+	for va := range as.dirty {
+		out = append(out, va)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyCount returns the number of dirty pages without copying the list.
+func (as *AddressSpace) DirtyCount() int { return len(as.dirty) }
+
+// ClearDirty resets dirty tracking (hardware D bits and the software
+// list). Called after a snapshot capture.
+func (as *AddressSpace) ClearDirty() {
+	for va := range as.dirty {
+		if pt, _ := as.walk(va, false); pt != nil {
+			pt.entries[index(va, 0)].flags &^= FlagDirty
+		}
+	}
+	as.dirty = make(map[uint64]struct{})
+}
+
+// SetCoWAll downgrades every writable mapping to read-only CoW. Clone
+// already produces CoW views; this is used when freezing a live space
+// into a snapshot in place.
+func (as *AddressSpace) SetCoWAll() {
+	var walkNode func(n *node)
+	walkNode = func(n *node) {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child != nil {
+				walkNode(e.child)
+			}
+			if e.frame != nil && e.flags&FlagWritable != 0 {
+				e.flags = (e.flags &^ FlagWritable) | FlagCoW
+			}
+		}
+	}
+	walkNode(as.root)
+}
+
+// ResetFaults zeroes the fault counters and returns the previous values.
+func (as *AddressSpace) ResetFaults() FaultStats {
+	f := as.Faults
+	as.Faults = FaultStats{}
+	return f
+}
+
+// PresentPages returns the sorted page-base addresses of every present
+// leaf mapping (the snapshot codec walks these to compute diffs).
+func (as *AddressSpace) PresentPages() []uint64 {
+	var out []uint64
+	var walkNode func(n *node, prefix uint64)
+	walkNode = func(n *node, prefix uint64) {
+		shift := uint(mem.PageShift + indexBits*n.level)
+		for i := range n.entries {
+			e := &n.entries[i]
+			va := prefix | uint64(i)<<shift
+			if n.level == 0 {
+				if e.frame != nil {
+					out = append(out, va)
+				}
+				continue
+			}
+			if e.child != nil {
+				walkNode(e.child, va)
+			}
+		}
+	}
+	walkNode(as.root, 0)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TableNodes returns the number of page-table nodes reachable from this
+// space, and how many of those are private — reachable only through
+// this space (every node on the path from the root has a single
+// reference). Shared nodes are counted once.
+func (as *AddressSpace) TableNodes() (total, private int) {
+	seen := map[*node]bool{}
+	var walkNode func(n *node, exclusive bool)
+	walkNode = func(n *node, exclusive bool) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		total++
+		exclusive = exclusive && n.refs == 1
+		if exclusive {
+			private++
+		}
+		for i := range n.entries {
+			if c := n.entries[i].child; c != nil {
+				walkNode(c, exclusive)
+			}
+		}
+	}
+	walkNode(as.root, true)
+	return total, private
+}
+
+// FootprintBytes returns the private memory cost of this space: frames
+// created by its faults (pages copied) plus its private table nodes.
+// This is the marginal cost of one more UC deployed from a snapshot —
+// the quantity that determines cache density in Table 3.
+func (as *AddressSpace) FootprintBytes() int64 {
+	_, private := as.TableNodes()
+	return int64(as.Faults.Copied()+private) * mem.PageSize
+}

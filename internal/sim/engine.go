@@ -1,0 +1,156 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All SEUSS experiments run in virtual time: latency-bearing operations
+// (booting a unikernel, creating a container, a network round trip) are
+// modeled as events on a shared virtual clock rather than as wall-clock
+// delays. This makes the macro experiments of the paper — minutes of
+// testbed time — run deterministically in milliseconds.
+//
+// The engine supports two styles:
+//
+//   - Callback events: At/After schedule a function at a virtual instant.
+//   - Processes: Go spawns a coroutine-style process (backed by a
+//     goroutine with strict hand-off) that can Sleep, block on Queues and
+//     Resources, and generally be written as straight-line code, the way
+//     the paper's benchmark worker threads are described.
+//
+// Determinism: exactly one process or callback runs at a time; ties in
+// virtual time are broken by schedule order (a monotonic sequence
+// number). Given the same seed and the same program, every run produces
+// identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual instant, measured in nanoseconds from the start of
+// the simulation. It is deliberately a distinct type from time.Time so
+// virtual and wall-clock time cannot be confused.
+type Time int64
+
+// Duration re-exports time.Duration for callers' convenience; virtual
+// durations use the same unit (nanoseconds) as wall-clock durations.
+type Duration = time.Duration
+
+// String formats the instant as a duration offset from simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant as seconds from simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	pq      eventHeap
+	seq     uint64
+	procs   int // live processes (for leak detection)
+	running bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual instant t. Scheduling in the past is
+// a programming error and panics: discrete-event time cannot move
+// backwards.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are treated as zero.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step runs the single earliest pending event, advancing the clock to
+// its instant. It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain. Processes blocked forever (for
+// example, a server loop waiting on a queue that will never be filled)
+// do not keep Run alive: only scheduled events do.
+func (e *Engine) Run() {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with instants <= t, then advances the clock
+// to exactly t.
+func (e *Engine) RunUntil(t Time) {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// LiveProcs returns the number of processes that have been spawned and
+// not yet finished — blocked servers and leaked workers show up here
+// after Run drains.
+func (e *Engine) LiveProcs() int { return e.procs }

@@ -1,0 +1,169 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process (the paper's "worker thread", a container
+// creation in flight, a UC executing a function…). A Proc is backed by a
+// goroutine with strict hand-off to the engine: exactly one Proc — or
+// the engine itself — runs at any moment, which keeps the simulation
+// deterministic.
+//
+// Inside a process function, blocking operations (Sleep, Queue.Get,
+// Resource.Acquire) suspend the process in virtual time.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	dead   bool
+}
+
+// Go spawns a new simulated process running fn. The process starts at
+// the current virtual instant (as a scheduled event, so it does not run
+// until the engine reaches it). name is used in diagnostics only.
+func (e *Engine) Go(name string, fn func(p *Proc)) {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	e.After(0, func() {
+		go func() {
+			<-p.resume
+			defer func() {
+				p.dead = true
+				p.eng.procs--
+				p.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		p.dispatch()
+	})
+}
+
+// dispatch hands control to the process goroutine and waits for it to
+// yield back (by blocking or finishing). Dispatching a process that has
+// already finished is a scheduling bug (it would deadlock the engine),
+// so it panics loudly instead.
+func (p *Proc) dispatch() {
+	if p.dead {
+		panic("sim: dispatch of dead process " + p.name)
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park suspends the process until something calls unpark. It must be
+// called from inside the process goroutine.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// unpark schedules the process to continue at the current virtual
+// instant. It must be called from engine context (an event callback or
+// another process's wake path routed through the engine).
+func (p *Proc) unpark() {
+	if p.dead {
+		panic("sim: unpark of dead process " + p.name)
+	}
+	p.eng.After(0, p.dispatch)
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the diagnostic name of the process.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for d of virtual time. Negative durations
+// are treated as zero (the process still yields, giving other
+// same-instant events a chance to run).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.At(p.eng.now.Add(d), func() { p.dispatch() })
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Yield gives up the processor for the current instant, allowing other
+// events scheduled at the same virtual time to run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }
+
+// Signal is a broadcast wakeup point: processes Wait on it, and a later
+// Broadcast wakes all current waiters. It is the simulation analogue of
+// a condition variable with an external lock implied by the engine's
+// single-threaded execution.
+type Signal struct {
+	eng     *Engine
+	waiters []*signalWaiter
+}
+
+type signalWaiter struct {
+	p        *Proc
+	signaled bool
+	woken    bool
+}
+
+// NewSignal returns a Signal bound to the engine.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait suspends the process until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, &signalWaiter{p: p})
+	p.park()
+}
+
+// WaitTimeout suspends the process until the next Broadcast or until d
+// elapses, whichever comes first. It reports whether the wakeup was a
+// Broadcast (true) rather than the timeout (false).
+func (s *Signal) WaitTimeout(p *Proc, d Duration) bool {
+	w := &signalWaiter{p: p}
+	s.waiters = append(s.waiters, w)
+	s.eng.After(d, func() {
+		if w.woken {
+			return
+		}
+		w.woken = true
+		s.remove(w)
+		p.unpark()
+	})
+	p.park()
+	return w.signaled
+}
+
+func (s *Signal) remove(target *signalWaiter) {
+	for i, w := range s.waiters {
+		if w == target {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Broadcast wakes every process currently waiting.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		w.signaled = true
+		w.p.unpark()
+	}
+}
+
+// Waiters returns the number of processes currently blocked in Wait.
+func (s *Signal) Waiters() int { return len(s.waiters) }

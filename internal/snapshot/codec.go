@@ -1,0 +1,305 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"seuss/internal/mem"
+	"seuss/internal/pagetable"
+)
+
+// Wire format for exported snapshot diffs — what DR-SEUSS ships across
+// the fabric (§9: "the read-only and deploy-anywhere properties of
+// unikernel snapshots suggest they can be cloned and deployed across
+// machines with similar hardware profiles").
+//
+//	magic   [4]byte  "SEUS"
+//	version uint16
+//	flags   uint16   (bit 0: page has content; per-page, see below)
+//	name    uint16-prefixed string
+//	base    uint16-prefixed string ("" for root snapshots)
+//	regs    8 * (3 + 14) bytes, little endian
+//	payload uint32-prefixed opaque bytes (guest metadata; see below)
+//	npages  uint32
+//	pages   npages * { va uint64, has uint8, content [PageSize]byte if has }
+//	crc32   uint32 over everything above
+//
+// Only the diff travels: the receiver grafts it onto its own base image
+// (which must carry the same base name — "similar hardware profiles").
+//
+// The payload field carries the snapshot's opaque guest metadata when
+// it implements encoding.BinaryMarshaler (uc.Payload does, via gob); on
+// real hardware this state lives inside the shipped pages themselves.
+
+const codecMagic = "SEUS"
+const codecVersion = 1
+
+// ErrCodec is wrapped by all decode failures.
+var ErrCodec = errors.New("snapshot: codec")
+
+// Export serializes the snapshot's diff relative to its base: its name,
+// lineage, registers, and every dirty page (address plus content for
+// materialized pages; zero pages travel as one byte).
+//
+// The diff page set is reconstructed by comparing the snapshot's leaf
+// frames against its base's: a page belongs to the diff iff the two
+// spaces map different frames at that address.
+func (s *Snapshot) Export(w io.Writer) error {
+	if s.deleted {
+		return fmt.Errorf("%w: export of deleted snapshot", ErrCodec)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(codecMagic)
+	writeU16 := func(v uint16) { binary.Write(&buf, binary.LittleEndian, v) }
+	writeU16(codecVersion)
+	writeU16(0)
+	writeString := func(str string) {
+		writeU16(uint16(len(str)))
+		buf.WriteString(str)
+	}
+	writeString(s.name)
+	baseName := ""
+	if s.base != nil {
+		baseName = s.base.name
+	}
+	writeString(baseName)
+	binary.Write(&buf, binary.LittleEndian, s.regs.PC)
+	binary.Write(&buf, binary.LittleEndian, s.regs.SP)
+	binary.Write(&buf, binary.LittleEndian, s.regs.Flags)
+	for _, g := range s.regs.GPR {
+		binary.Write(&buf, binary.LittleEndian, g)
+	}
+
+	var payloadBytes []byte
+	if bm, ok := s.payload.(encoding.BinaryMarshaler); ok {
+		pb, err := bm.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("%w: payload: %v", ErrCodec, err)
+		}
+		payloadBytes = pb
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(len(payloadBytes)))
+	buf.Write(payloadBytes)
+
+	pages := s.diffPageSet()
+	binary.Write(&buf, binary.LittleEndian, uint32(len(pages)))
+	content := make([]byte, mem.PageSize)
+	for _, pg := range pages {
+		binary.Write(&buf, binary.LittleEndian, pg.va)
+		if pg.frame.Materialized() {
+			buf.WriteByte(1)
+			pg.frame.Read(0, content)
+			buf.Write(content)
+		} else {
+			buf.WriteByte(0)
+		}
+	}
+	binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(buf.Bytes()))
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+type diffPage struct {
+	va    uint64
+	frame *mem.Frame
+}
+
+// diffPageSet walks the snapshot's space and its base's, collecting the
+// pages whose frames differ.
+func (s *Snapshot) diffPageSet() []diffPage {
+	var out []diffPage
+	var baseSpace *pagetable.AddressSpace
+	if s.base != nil {
+		baseSpace = s.base.space
+	}
+	for _, va := range s.space.PresentPages() {
+		f, _, ok := s.space.Translate(va)
+		if !ok {
+			continue
+		}
+		if baseSpace != nil {
+			if bf, _, bok := baseSpace.Translate(va); bok && bf == f {
+				continue // shared with the base: not part of the diff
+			}
+		}
+		out = append(out, diffPage{va: va, frame: f})
+	}
+	return out
+}
+
+// ImportHeader is the decoded metadata of an exported diff.
+type ImportHeader struct {
+	Name     string
+	BaseName string
+	Regs     Registers
+	Pages    int
+}
+
+// ImportedDiff is a decoded snapshot diff, ready to graft onto a base.
+type ImportedDiff struct {
+	Header ImportHeader
+	// PayloadBytes is the opaque guest metadata shipped with the diff;
+	// the receiving node decodes it (uc.DecodePayload) and attaches it
+	// to the grafted snapshot.
+	PayloadBytes []byte
+	// PageVAs lists the diff's page addresses.
+	PageVAs []uint64
+	// Contents maps page addresses to 4 KiB payloads (absent for zero
+	// pages).
+	Contents map[uint64][]byte
+}
+
+// LogicalBytes returns the diff's in-memory size (pages × PageSize) —
+// the volume a real migration ships. In the simulation, pages whose
+// content was never materialized travel as one byte on the wire (see
+// WireBytes), but they stand in for real page content, so transfer
+// accounting uses LogicalBytes.
+func (d *ImportedDiff) LogicalBytes() int64 {
+	return int64(len(d.PageVAs)) * mem.PageSize
+}
+
+// WireBytes returns the serialized size of the diff (transfer
+// accounting for the simulated stream itself; real systems with
+// zero-page compression approach this bound).
+func (d *ImportedDiff) WireBytes() int64 {
+	n := int64(len(d.PayloadBytes))
+	for _, va := range d.PageVAs {
+		n += 9 // va + has flag
+		if _, ok := d.Contents[va]; ok {
+			n += mem.PageSize
+		}
+	}
+	return n
+}
+
+// Import decodes an exported diff.
+func Import(r io.Reader) (*ImportedDiff, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	if len(raw) < 12 {
+		return nil, fmt.Errorf("%w: truncated", ErrCodec)
+	}
+	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCodec)
+	}
+	buf := bytes.NewReader(body)
+	magic := make([]byte, 4)
+	io.ReadFull(buf, magic)
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCodec, magic)
+	}
+	var version, flags uint16
+	binary.Read(buf, binary.LittleEndian, &version)
+	binary.Read(buf, binary.LittleEndian, &flags)
+	if version != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
+	}
+	readString := func() (string, error) {
+		var n uint16
+		if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(buf, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	out := &ImportedDiff{Contents: make(map[uint64][]byte)}
+	if out.Header.Name, err = readString(); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrCodec, err)
+	}
+	if out.Header.BaseName, err = readString(); err != nil {
+		return nil, fmt.Errorf("%w: base: %v", ErrCodec, err)
+	}
+	binary.Read(buf, binary.LittleEndian, &out.Header.Regs.PC)
+	binary.Read(buf, binary.LittleEndian, &out.Header.Regs.SP)
+	binary.Read(buf, binary.LittleEndian, &out.Header.Regs.Flags)
+	for i := range out.Header.Regs.GPR {
+		binary.Read(buf, binary.LittleEndian, &out.Header.Regs.GPR[i])
+	}
+	var plen uint32
+	if err := binary.Read(buf, binary.LittleEndian, &plen); err != nil {
+		return nil, fmt.Errorf("%w: payload length: %v", ErrCodec, err)
+	}
+	if plen > 0 {
+		out.PayloadBytes = make([]byte, plen)
+		if _, err := io.ReadFull(buf, out.PayloadBytes); err != nil {
+			return nil, fmt.Errorf("%w: payload: %v", ErrCodec, err)
+		}
+	}
+	var npages uint32
+	if err := binary.Read(buf, binary.LittleEndian, &npages); err != nil {
+		return nil, fmt.Errorf("%w: page count: %v", ErrCodec, err)
+	}
+	for i := uint32(0); i < npages; i++ {
+		var va uint64
+		if err := binary.Read(buf, binary.LittleEndian, &va); err != nil {
+			return nil, fmt.Errorf("%w: page %d: %v", ErrCodec, i, err)
+		}
+		has := make([]byte, 1)
+		if _, err := io.ReadFull(buf, has); err != nil {
+			return nil, fmt.Errorf("%w: page %d flag: %v", ErrCodec, i, err)
+		}
+		out.PageVAs = append(out.PageVAs, va)
+		if has[0] == 1 {
+			content := make([]byte, mem.PageSize)
+			if _, err := io.ReadFull(buf, content); err != nil {
+				return nil, fmt.Errorf("%w: page %d content: %v", ErrCodec, i, err)
+			}
+			out.Contents[va] = content
+		}
+	}
+	out.Header.Pages = len(out.PageVAs)
+	return out, nil
+}
+
+// Graft applies an imported diff on top of a local base snapshot,
+// producing a new snapshot equivalent to the exported one (same name,
+// registers, and page contents) but backed by local frames. The base's
+// name must match the diff's recorded lineage.
+func Graft(diff *ImportedDiff, base *Snapshot) (*Snapshot, error) {
+	if base == nil {
+		return nil, fmt.Errorf("%w: graft requires a base", ErrCodec)
+	}
+	if base.name != diff.Header.BaseName {
+		return nil, fmt.Errorf("%w: base %q does not match diff lineage %q",
+			ErrCodec, base.name, diff.Header.BaseName)
+	}
+	space, _, err := base.Deploy()
+	if err != nil {
+		return nil, err
+	}
+	for _, va := range diff.PageVAs {
+		if content, ok := diff.Contents[va]; ok {
+			if err := space.Store(va, content); err != nil {
+				space.Release()
+				base.ReleaseUC()
+				return nil, err
+			}
+		} else if err := space.Touch(va); err != nil {
+			space.Release()
+			base.ReleaseUC()
+			return nil, err
+		}
+	}
+	snap, err := Capture(diff.Header.Name, base, space, diff.Header.Regs)
+	if err != nil {
+		space.Release()
+		base.ReleaseUC()
+		return nil, err
+	}
+	// The staging space served its purpose; the snapshot holds its own
+	// references now.
+	space.Release()
+	base.ReleaseUC()
+	return snap, nil
+}

@@ -1,0 +1,183 @@
+// Package trace records structured events from the SEUSS node — which
+// invocation path ran, how long each stage took, when the OOM policy
+// reclaimed, when snapshots were captured or evicted — on the virtual
+// clock. Traces export as JSON lines or as Chrome trace-event format
+// (load the file at chrome://tracing or https://ui.perfetto.dev to see
+// the node's timeline).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the node.
+const (
+	KindDeploy  Kind = "deploy"
+	KindConnect Kind = "connect"
+	KindImport  Kind = "import"
+	KindCapture Kind = "capture"
+	KindExecute Kind = "execute"
+	KindInvoke  Kind = "invoke" // whole-invocation span
+	KindDestroy Kind = "destroy"
+	KindReclaim Kind = "reclaim"
+	KindEvict   Kind = "evict"
+	KindMigrate Kind = "migrate"
+)
+
+// Event is one recorded occurrence: an instant (Dur == 0) or a span.
+type Event struct {
+	// At is the event's start on the virtual clock.
+	At time.Duration `json:"at"`
+	// Dur is the span length (0 for instants).
+	Dur time.Duration `json:"dur,omitempty"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Key is the function involved, if any.
+	Key string `json:"key,omitempty"`
+	// Path is cold/warm/hot for invocation spans.
+	Path string `json:"path,omitempty"`
+	// Detail carries free-form context ("3 idle UCs reclaimed").
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer accumulates events. A nil *Tracer is valid and records
+// nothing, so instrumented code needs no conditionals.
+type Tracer struct {
+	events []Event
+	max    int
+}
+
+// New returns a tracer retaining at most max events (0 = unlimited).
+func New(max int) *Tracer { return &Tracer{max: max} }
+
+// Record appends an event. Safe on a nil tracer.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.max > 0 && len(t.events) >= t.max {
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Span records a span event. Safe on a nil tracer.
+func (t *Tracer) Span(kind Kind, key, path string, at, dur time.Duration) {
+	t.Record(Event{At: at, Dur: dur, Kind: kind, Key: key, Path: path})
+}
+
+// Events returns the recorded events in order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// ByKind returns the events of one kind.
+func (t *Tracer) ByKind(k Kind) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the trace as JSON lines.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the Chrome trace-event format record.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON. Spans
+// become complete ("X") events; instants become instant ("i") events.
+// Rows (tids) group by event kind so the timeline reads as lanes.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	lanes := map[Kind]int{}
+	var out []chromeEvent
+	for _, ev := range t.Events() {
+		lane, ok := lanes[ev.Kind]
+		if !ok {
+			lane = len(lanes) + 1
+			lanes[ev.Kind] = lane
+		}
+		name := string(ev.Kind)
+		if ev.Key != "" {
+			name += " " + ev.Key
+		}
+		args := map[string]string{}
+		if ev.Path != "" {
+			args["path"] = ev.Path
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		ce := chromeEvent{
+			Name: name,
+			TS:   float64(ev.At.Microseconds()),
+			PID:  1,
+			TID:  lane,
+			Args: args,
+		}
+		if ev.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = float64(ev.Dur.Microseconds())
+		} else {
+			ce.Phase = "i"
+		}
+		out = append(out, ce)
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// Summary renders a one-line-per-kind count summary.
+func (t *Tracer) Summary() string {
+	counts := map[Kind]int{}
+	var order []Kind
+	for _, ev := range t.Events() {
+		if counts[ev.Kind] == 0 {
+			order = append(order, ev.Kind)
+		}
+		counts[ev.Kind]++
+	}
+	var sb strings.Builder
+	for _, k := range order {
+		fmt.Fprintf(&sb, "%s=%d ", k, counts[k])
+	}
+	return strings.TrimSpace(sb.String())
+}

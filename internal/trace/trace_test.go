@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: KindDeploy})
+	tr.Span(KindInvoke, "k", "cold", 0, time.Millisecond)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer recorded")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	tr := New(0)
+	tr.Span(KindInvoke, "fn", "cold", 10*time.Millisecond, 7*time.Millisecond)
+	tr.Record(Event{At: 20 * time.Millisecond, Kind: KindReclaim, Key: "fn2"})
+	tr.Span(KindInvoke, "fn", "hot", 30*time.Millisecond, time.Millisecond)
+
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	invokes := tr.ByKind(KindInvoke)
+	if len(invokes) != 2 || invokes[0].Path != "cold" || invokes[1].Path != "hot" {
+		t.Errorf("invokes = %+v", invokes)
+	}
+	if got := tr.Summary(); !strings.Contains(got, "invoke=2") || !strings.Contains(got, "reclaim=1") {
+		t.Errorf("summary = %q", got)
+	}
+}
+
+func TestMaxEventsCap(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Kind: KindDeploy})
+	}
+	if tr.Len() != 2 {
+		t.Errorf("len = %d, want capped 2", tr.Len())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New(0)
+	tr.Span(KindInvoke, "a/b", "warm", time.Second, 3*time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != KindInvoke || ev.Key != "a/b" || ev.Dur != 3*time.Millisecond {
+		t.Errorf("round trip = %+v", ev)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New(0)
+	tr.Span(KindInvoke, "fn", "cold", time.Millisecond, 7*time.Millisecond)
+	tr.Record(Event{At: 2 * time.Millisecond, Kind: KindReclaim})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0]["ph"] != "X" || events[0]["dur"].(float64) != 7000 {
+		t.Errorf("span = %v", events[0])
+	}
+	if events[1]["ph"] != "i" {
+		t.Errorf("instant = %v", events[1])
+	}
+	// Distinct kinds land in distinct lanes.
+	if events[0]["tid"] == events[1]["tid"] {
+		t.Error("lanes collided")
+	}
+}

@@ -1,0 +1,313 @@
+// Package uc implements unikernel contexts (§3): the unit of deployment
+// for individually isolated function executions.
+//
+// A UC couples an address space (hardware state: page tables, frames,
+// registers) with the guest software stack (libos + interpreter). UCs
+// come into existence two ways, mirroring the paper:
+//
+//   - BootFresh: the once-per-interpreter system initialization — boot
+//     the unikernel, load the interpreter, start the invocation driver.
+//     Slow by design; it happens before the runtime snapshot.
+//   - Deploy: create a UC from a snapshot — a shallow page-table copy
+//     plus register restore, the fast path every invocation uses.
+//
+// Capture plays the role of the prototype's debug-register trigger: it
+// freezes the UC's instantaneous state into a new snapshot layered on
+// the UC's deploy source, and the UC continues transparently.
+package uc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"seuss/internal/costs"
+	"seuss/internal/hypercall"
+	"seuss/internal/interp"
+	"seuss/internal/libos"
+	"seuss/internal/mem"
+	"seuss/internal/pagetable"
+	"seuss/internal/snapshot"
+	"time"
+)
+
+// Synthesized trigger addresses: the simulation's stand-ins for "the
+// exact instruction within the unikernel where the snapshot is
+// captured" (§6). Distinct per trigger point so tests can assert which
+// path a deployment resumes on.
+const (
+	// TriggerPCDriverListen is the runtime-snapshot trigger: the driver
+	// has started and sits in its accept loop.
+	TriggerPCDriverListen = uint64(0x0000_0000_0040_1a40)
+	// TriggerPCPostCompile is the function-snapshot trigger: source
+	// imported and compiled, about to read run arguments.
+	TriggerPCPostCompile = uint64(0x0000_0000_0040_2b80)
+)
+
+// Payload is the guest metadata a snapshot carries (see
+// snapshot.SetPayload).
+type Payload struct {
+	Libos  libos.State
+	Interp interp.State
+}
+
+// State is a UC's lifecycle state.
+type State int
+
+// Lifecycle states.
+const (
+	StateIdle State = iota
+	StateRunning
+	StateDestroyed
+)
+
+var stateNames = [...]string{"idle", "running", "destroyed"}
+
+// String implements fmt.Stringer.
+func (s State) String() string { return stateNames[s] }
+
+// ErrDestroyed is returned for operations on a destroyed UC.
+var ErrDestroyed = errors.New("uc: destroyed")
+
+// UC is one unikernel context.
+type UC struct {
+	id    uint64
+	space *pagetable.AddressSpace
+	from  *snapshot.Snapshot // deploy source; nil for fresh boots
+	guest *interp.Runtime
+	host  *hypercall.Counter
+	env   libos.Env
+	state State
+	regs  snapshot.Registers
+	// meta holds the kernel-side frames backing the UC descriptor,
+	// event-context stacks, and proxy mappings.
+	meta []*mem.Frame
+}
+
+// allocMeta reserves the kernel-side frames for a live UC.
+func (u *UC) allocMeta(st *mem.Store) error {
+	n := int(costs.UCKernelMetaBytes / mem.PageSize)
+	for i := 0; i < n; i++ {
+		f, err := st.Alloc()
+		if err != nil {
+			u.freeMeta(st)
+			return err
+		}
+		u.meta = append(u.meta, f)
+	}
+	return nil
+}
+
+func (u *UC) freeMeta(st *mem.Store) {
+	for _, f := range u.meta {
+		st.DecRef(f)
+	}
+	u.meta = nil
+}
+
+var nextID uint64
+
+// BootFresh builds a UC from nothing with the default (Node.js)
+// interpreter profile. See BootFreshProfile.
+func BootFresh(st *mem.Store, host hypercall.Host, env libos.Env) (*UC, error) {
+	return BootFreshProfile(st, host, env, interp.NodeJS)
+}
+
+// BootFreshProfile builds a UC from nothing: boot the unikernel, load
+// the given interpreter, start the invocation driver. Used once per
+// supported interpreter during system initialization (§4: one runtime
+// snapshot per interpreter).
+func BootFreshProfile(st *mem.Store, host hypercall.Host, env libos.Env, prof interp.Profile) (*UC, error) {
+	space, err := pagetable.New(st)
+	if err != nil {
+		return nil, fmt.Errorf("uc: boot: %w", err)
+	}
+	nextID++
+	u := &UC{
+		id:    nextID,
+		space: space,
+		env:   env,
+		host:  hypercall.NewCounter(hostOrStub(host), costs.Hypercall, env.ChargeCPU),
+		state: StateRunning,
+	}
+	if err := u.allocMeta(st); err != nil {
+		space.Release()
+		return nil, err
+	}
+	uk := libos.New(space, u.host, env)
+	if err := uk.Boot(); err != nil {
+		space.Release()
+		return nil, err
+	}
+	rt := interp.NewRuntimeWithProfile(uk, prof)
+	if err := rt.InitInterpreter(); err != nil {
+		space.Release()
+		return nil, err
+	}
+	if err := rt.StartDriver(); err != nil {
+		space.Release()
+		return nil, err
+	}
+	u.guest = rt
+	u.regs = snapshot.Registers{PC: TriggerPCDriverListen, SP: libos.StackTop - 4096}
+	u.state = StateIdle
+	return u, nil
+}
+
+// Deploy creates a UC from a snapshot: the shallow page-table copy,
+// core mapping, TLB flush, and register restore of §6, followed by
+// rehydration of the guest stack from the snapshot's payload.
+func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, error) {
+	env.ChargeCPU(costs.UCDeploy)
+	space, regs, err := snap.Deploy()
+	if err != nil {
+		return nil, err
+	}
+	payload, ok := snap.Payload().(Payload)
+	if !ok {
+		space.Release()
+		snap.ReleaseUC()
+		return nil, fmt.Errorf("uc: snapshot %q has no guest payload", snap.Name())
+	}
+	nextID++
+	u := &UC{
+		id:    nextID,
+		space: space,
+		from:  snap,
+		env:   env,
+		host:  hypercall.NewCounter(hostOrStub(host), costs.Hypercall, env.ChargeCPU),
+		regs:  regs,
+		state: StateIdle,
+	}
+	if err := u.allocMeta(space.Backing()); err != nil {
+		space.Release()
+		snap.ReleaseUC()
+		return nil, err
+	}
+	uk := libos.New(space, u.host, env)
+	uk.Rehydrate(payload.Libos)
+	rt, err := interp.RestoreFromState(uk, payload.Interp, snap.DiffPages())
+	if err != nil {
+		u.freeMeta(space.Backing())
+		space.Release()
+		snap.ReleaseUC()
+		return nil, err
+	}
+	// The resumed guest immediately rewrites its runtime bookkeeping
+	// (stacks, timers, socket rebind) — real post-resume work, charged.
+	if err := uk.Resume(); err != nil {
+		u.freeMeta(space.Backing())
+		space.Release()
+		snap.ReleaseUC()
+		return nil, err
+	}
+	u.guest = rt
+	return u, nil
+}
+
+func hostOrStub(h hypercall.Host) hypercall.Host {
+	if h == nil {
+		return hypercall.NewStubHost()
+	}
+	return h
+}
+
+// ID returns the UC's unique identifier.
+func (u *UC) ID() uint64 { return u.id }
+
+// Space returns the UC's address space.
+func (u *UC) Space() *pagetable.AddressSpace { return u.space }
+
+// Guest returns the runtime inside the UC.
+func (u *UC) Guest() *interp.Runtime { return u.guest }
+
+// From returns the snapshot this UC was deployed from (nil for fresh
+// boots).
+func (u *UC) From() *snapshot.Snapshot { return u.from }
+
+// State returns the lifecycle state.
+func (u *UC) State() State { return u.state }
+
+// SetRunning marks the UC as hosting a live invocation.
+func (u *UC) SetRunning() { u.state = StateRunning }
+
+// SetIdle marks the UC as cached and reusable (hot-path candidate).
+func (u *UC) SetIdle() { u.state = StateIdle }
+
+// Registers returns the UC's current (simulated) register file.
+func (u *UC) Registers() snapshot.Registers { return u.regs }
+
+// Hypercalls returns the UC's hypercall crossing counter.
+func (u *UC) Hypercalls() *hypercall.Counter { return u.host }
+
+// Capture freezes the UC's instantaneous state into a snapshot named
+// name, layered on the UC's deploy source. The UC continues running
+// transparently afterwards (its pages become CoW). triggerPC records
+// where execution resumes for deployments of the new snapshot.
+func (u *UC) Capture(name string, triggerPC uint64) (*snapshot.Snapshot, error) {
+	if u.state == StateDestroyed {
+		return nil, ErrDestroyed
+	}
+	dirty := u.space.DirtyCount()
+	u.env.ChargeCPU(costs.SnapshotBase + time.Duration(dirty)*costs.SnapshotPerPage)
+	regs := u.regs
+	regs.PC = triggerPC
+	regs.GPR[0] = u.guest.Unikernel().HeapBrk()
+	snap, err := snapshot.Capture(name, u.from, u.space, regs)
+	if err != nil {
+		return nil, err
+	}
+	snap.SetPayload(Payload{
+		Libos:  u.guest.Unikernel().State(),
+		Interp: u.guest.State(),
+	})
+	return snap, nil
+}
+
+// Destroy tears the UC down, releasing its address space and its
+// reference on the deploy source.
+func (u *UC) Destroy() {
+	if u.state == StateDestroyed {
+		return
+	}
+	u.env.ChargeCPU(costs.UCDestroy)
+	u.freeMeta(u.space.Backing())
+	u.space.Release()
+	if u.from != nil {
+		u.from.ReleaseUC()
+	}
+	u.state = StateDestroyed
+}
+
+// FootprintBytes returns the UC's private memory cost: pages its faults
+// created plus its private page-table nodes — the marginal cost of
+// caching this UC (Table 3's density denominator).
+func (u *UC) FootprintBytes() int64 {
+	if u.state == StateDestroyed {
+		return 0
+	}
+	return u.space.FootprintBytes() + int64(len(u.meta))*mem.PageSize
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler so the snapshot
+// codec can ship guest metadata alongside the page diff (on real
+// hardware this state lives inside the pages).
+func (pl Payload) MarshalBinary() ([]byte, error) {
+	// The alias type drops Payload's methods so gob does not recurse
+	// back into MarshalBinary.
+	type wire Payload
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire(pl)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses Payload.MarshalBinary.
+func DecodePayload(data []byte) (Payload, error) {
+	type wire Payload
+	var w wire
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w)
+	return Payload(w), err
+}

@@ -1,0 +1,361 @@
+// Package seuss is a library reproduction of "SEUSS: Skip Redundant
+// Paths to Make Serverless Fast" (Cadden et al., EuroSys 2020).
+//
+// SEUSS deploys serverless functions from unikernel snapshots: a
+// function runs inside a unikernel context (UC) — interpreter + library
+// OS in one flat address space — whose instantaneous state can be
+// captured black-box as an immutable snapshot and redeployed with a
+// shallow page-table copy. Snapshot stacks share the interpreter image
+// across every function; anticipatory optimization pre-executes likely
+// paths before capture, shrinking both diffs and start times.
+//
+// This package is the public facade. The mechanisms underneath are real
+// (hardware-style page tables with CoW over simulated frames, a real
+// mini-JavaScript interpreter whose heap lives in UC pages); time is
+// virtual, driven by a deterministic discrete-event engine calibrated
+// against the paper's measurements. See DESIGN.md for the full
+// substitution map.
+//
+// Quick start:
+//
+//	s := seuss.New()
+//	node, _ := s.NewNode(seuss.NodeDefaults())
+//	inv, _ := node.InvokeSync("alice/hello",
+//	    `function main(args) { return {msg: "hello " + args.name}; }`,
+//	    `{"name": "seuss"}`)
+//	fmt.Println(inv.Path, inv.Latency, inv.Output)
+package seuss
+
+import (
+	"time"
+
+	"seuss/internal/cluster"
+	"seuss/internal/core"
+	"seuss/internal/faas"
+	"seuss/internal/metrics"
+	"seuss/internal/sim"
+	"seuss/internal/trace"
+	"seuss/internal/workload"
+)
+
+// Simulation owns the virtual clock and event engine every component
+// shares. All latencies reported by this package are virtual time.
+type Simulation struct {
+	eng *sim.Engine
+}
+
+// New returns a fresh simulation with the clock at zero.
+func New() *Simulation {
+	return &Simulation{eng: sim.NewEngine()}
+}
+
+// Clock returns the current virtual time.
+func (s *Simulation) Clock() time.Duration { return time.Duration(s.eng.Now()) }
+
+// Run drains all pending events, advancing virtual time to completion.
+func (s *Simulation) Run() { s.eng.Run() }
+
+// RunFor advances virtual time by d, running due events.
+func (s *Simulation) RunFor(d time.Duration) { s.eng.RunUntil(s.eng.Now().Add(d)) }
+
+// Engine exposes the underlying event engine for advanced scheduling.
+func (s *Simulation) Engine() *sim.Engine { return s.eng }
+
+// Task is a simulated thread of control (a client worker, a burst
+// request). Blocking calls made through a Task suspend it in virtual
+// time.
+type Task struct {
+	p *sim.Proc
+}
+
+// Sleep suspends the task for d of virtual time.
+func (t *Task) Sleep(d time.Duration) { t.p.Sleep(d) }
+
+// Now returns the current virtual time.
+func (t *Task) Now() time.Duration { return time.Duration(t.p.Now()) }
+
+// Spawn starts fn as a simulated task. It runs when the simulation
+// runs.
+func (s *Simulation) Spawn(name string, fn func(t *Task)) {
+	s.eng.Go(name, func(p *sim.Proc) { fn(&Task{p: p}) })
+}
+
+// ---- Functions ----
+
+// Function describes a serverless function to the platform: its unique
+// key (client account + name), its MiniJS source, and — for the Linux
+// container baseline, which does not interpret MiniJS — its modeled
+// CPU and IO demands.
+type Function = workload.Spec
+
+// NOP returns the i-th logically unique NOP JavaScript function, the
+// workload of the microbenchmarks and throughput experiments.
+func NOP(i int) Function { return workload.NOPSpec(i) }
+
+// CPUBound returns a function burning ms milliseconds of compute.
+func CPUBound(key string, ms int) Function { return workload.CPUSpec(key, ms) }
+
+// IOBound returns a function blocking on an external HTTP endpoint.
+func IOBound(key, url string, block time.Duration) Function {
+	return workload.IOSpec(key, url, block)
+}
+
+// NOPSource is the single-line NOP function source.
+const NOPSource = workload.NOPSource
+
+// ---- Compute node ----
+
+// NodeConfig parameterizes a SEUSS compute node.
+type NodeConfig = core.Config
+
+// NodeDefaults returns the paper's node configuration: 16 cores, 88 GB
+// memory, network and interpreter anticipatory optimizations enabled.
+func NodeDefaults() NodeConfig { return core.DefaultConfig() }
+
+// Node is a SEUSS OS compute node: snapshot cache, UC cache, and the
+// cold/warm/hot invocation paths.
+type Node struct {
+	sim  *Simulation
+	node *core.Node
+}
+
+// NewNode boots a node: unikernel + interpreter + invocation driver,
+// anticipatory optimizations per the config, base runtime snapshot
+// captured and cached.
+func (s *Simulation) NewNode(cfg NodeConfig) (*Node, error) {
+	n, err := core.NewNode(s.eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{sim: s, node: n}, nil
+}
+
+// Invocation is the result of one function invocation.
+type Invocation struct {
+	// Path is "cold", "warm", or "hot".
+	Path string
+	// Output is the driver's JSON response.
+	Output string
+	// Latency is the node-side service time in virtual time.
+	Latency time.Duration
+}
+
+// Invoke runs a function on the node's default runtime from within a
+// simulated task.
+func (n *Node) Invoke(t *Task, key, source, args string) (Invocation, error) {
+	return n.InvokeRuntime(t, "", key, source, args)
+}
+
+// InvokeRuntime runs a function on a specific interpreter runtime
+// ("nodejs", "python"; "" = the node's default). The runtime must be
+// listed in NodeConfig.Runtimes.
+func (n *Node) InvokeRuntime(t *Task, runtime, key, source, args string) (Invocation, error) {
+	res, err := n.node.Invoke(t.p, core.Request{Key: key, Source: source, Args: args, Runtime: runtime})
+	if err != nil {
+		return Invocation{}, err
+	}
+	return Invocation{Path: res.Path.String(), Output: res.Output, Latency: res.Latency}, nil
+}
+
+// InvokeSync is a convenience for sequential use: it spawns a task for
+// the invocation and runs the simulation until it completes.
+func (n *Node) InvokeSync(key, source, args string) (Invocation, error) {
+	var inv Invocation
+	var err error
+	n.sim.Spawn("invoke:"+key, func(t *Task) {
+		inv, err = n.Invoke(t, key, source, args)
+	})
+	n.sim.Run()
+	return inv, err
+}
+
+// NodeStats reports the node's counters.
+type NodeStats struct {
+	Cold, Warm, Hot   int64
+	Errors            int64
+	UCsDeployed       int64
+	UCsReclaimed      int64
+	SnapshotsCaptured int64
+	SnapshotsEvicted  int64
+	CachedSnapshots   int
+	IdleUCs           int
+	MemoryUsedBytes   int64
+}
+
+// Stats returns current counters.
+func (n *Node) Stats() NodeStats {
+	st := n.node.Stats()
+	return NodeStats{
+		Cold: st.Cold, Warm: st.Warm, Hot: st.Hot,
+		Errors:            st.Errors,
+		UCsDeployed:       st.UCsDeployed,
+		UCsReclaimed:      st.UCsReclaimed,
+		SnapshotsCaptured: st.SnapshotsCaptured,
+		SnapshotsEvicted:  st.SnapshotsEvicted,
+		CachedSnapshots:   n.node.CachedSnapshots(),
+		IdleUCs:           n.node.IdleUCs(),
+		MemoryUsedBytes:   n.node.MemStats().BytesInUse,
+	}
+}
+
+// Core exposes the underlying node for advanced use (experiments,
+// ablations).
+func (n *Node) Core() *core.Node { return n.node }
+
+// ---- Platform (OpenWhisk-like cluster) ----
+
+// Cluster is the full FaaS platform: control plane plus one compute
+// backend (SEUSS through the shim, or the Linux container invoker).
+type Cluster struct {
+	sim     *Simulation
+	cluster *faas.Cluster
+}
+
+// NewSeussCluster assembles the platform over a SEUSS node.
+func (s *Simulation) NewSeussCluster(cfg NodeConfig) (*Cluster, error) {
+	n, err := core.NewNode(s.eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{sim: s, cluster: faas.NewCluster(s.eng, faas.NewSeussBackend(n))}, nil
+}
+
+// LinuxConfig parameterizes the stock OpenWhisk Linux backend.
+type LinuxConfig = faas.LinuxConfig
+
+// NewLinuxCluster assembles the platform over the Linux container
+// invoker.
+func (s *Simulation) NewLinuxCluster(cfg LinuxConfig) *Cluster {
+	return &Cluster{sim: s, cluster: faas.NewCluster(s.eng, faas.NewLinuxBackend(s.eng, cfg))}
+}
+
+// Invoke issues one synchronous platform request from a task.
+func (c *Cluster) Invoke(t *Task, fn Function, args string) error {
+	return c.cluster.Invoke(t.p, fn, args)
+}
+
+// Backend returns the backend's name ("seuss" or "linux").
+func (c *Cluster) Backend() string { return c.cluster.Backend().Name() }
+
+// Platform exposes the underlying cluster for experiment harnesses.
+func (c *Cluster) Platform() *faas.Cluster { return c.cluster }
+
+// ---- Benchmark front door ----
+
+// Trial is the paper's load-generation benchmark: N invocations over a
+// set of functions, issued by C closed-loop workers in a pre-computed
+// random order.
+type Trial = workload.Trial
+
+// TrialResult is a trial's outcome.
+type TrialResult = workload.TrialResult
+
+// RunTrial executes a trial against the cluster.
+func (c *Cluster) RunTrial(t Trial) TrialResult {
+	return t.Run(c.sim.eng, c.cluster)
+}
+
+// Burst is the §7 burst-resiliency experiment configuration.
+type Burst = workload.Burst
+
+// Timeline is the per-request scatter data of the burst figures.
+type Timeline = metrics.Timeline
+
+// RunBurst executes a burst experiment against the cluster.
+func (c *Cluster) RunBurst(b Burst) *Timeline {
+	return b.Run(c.sim.eng, c.cluster)
+}
+
+// Summarize computes latency percentiles (Figure 5's quantiles).
+func Summarize(samples []time.Duration) metrics.Summary {
+	return metrics.Summarize(samples)
+}
+
+// ---- DR-SEUSS (distributed snapshot cache, the paper's §9) ----
+
+// DistPolicy selects how the distributed cache exploits remote holders.
+type DistPolicy = cluster.Policy
+
+// Distributed cache policies.
+const (
+	// PolicyRoute forwards requests to a snapshot holder.
+	PolicyRoute = cluster.PolicyRoute
+	// PolicyMigrate replicates snapshot diffs across the fabric.
+	PolicyMigrate = cluster.PolicyMigrate
+)
+
+// DistConfig parameterizes a DR-SEUSS deployment.
+type DistConfig = cluster.Config
+
+// DistStats reports distributed-cache behavior.
+type DistStats = cluster.Stats
+
+// DistCluster is a multi-node SEUSS deployment with a global snapshot
+// directory: a function is cold at most once per cluster.
+type DistCluster struct {
+	sim *Simulation
+	c   *cluster.Cluster
+}
+
+// NewDistCluster boots a DR-SEUSS deployment.
+func (s *Simulation) NewDistCluster(cfg DistConfig) (*DistCluster, error) {
+	c, err := cluster.New(s.eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DistCluster{sim: s, c: c}, nil
+}
+
+// Invoke runs a function somewhere in the cluster, returning the result
+// and the serving node's ID.
+func (d *DistCluster) Invoke(t *Task, key, source, args string) (Invocation, int, error) {
+	res, node, err := d.c.Invoke(t.p, core.Request{Key: key, Source: source, Args: args})
+	if err != nil {
+		return Invocation{}, node, err
+	}
+	return Invocation{Path: res.Path.String(), Output: res.Output, Latency: res.Latency}, node, nil
+}
+
+// InvokeSync is the sequential convenience form.
+func (d *DistCluster) InvokeSync(key, source, args string) (Invocation, int, error) {
+	var inv Invocation
+	var node int
+	var err error
+	d.sim.Spawn("dist:"+key, func(t *Task) {
+		inv, node, err = d.Invoke(t, key, source, args)
+	})
+	d.sim.Run()
+	return inv, node, err
+}
+
+// Stats returns cluster counters.
+func (d *DistCluster) Stats() DistStats { return d.c.Stats() }
+
+// Holders returns which nodes hold a function's snapshot.
+func (d *DistCluster) Holders(key string) []int { return d.c.Holders(key) }
+
+// Nodes returns the member count.
+func (d *DistCluster) Nodes() int { return len(d.c.Members()) }
+
+// ---- Tracing ----
+
+// Trace records a node's structured event timeline; export it as JSON
+// lines or Chrome trace-event format (chrome://tracing / Perfetto).
+type Trace = trace.Tracer
+
+// NewTrace returns a trace recorder retaining at most max events
+// (0 = unlimited). Attach it via NodeConfig.Tracer.
+func NewTrace(max int) *Trace { return trace.New(max) }
+
+// InvokeAsync submits a non-blocking platform invocation (OpenWhisk's
+// async activations) and returns its activation ID.
+func (c *Cluster) InvokeAsync(t *Task, fn Function, args string) int64 {
+	return c.cluster.InvokeAsync(t.p, fn, args)
+}
+
+// WaitActivation blocks the task until the activation completes and
+// reports whether it succeeded; false is also returned for unknown IDs.
+func (c *Cluster) WaitActivation(t *Task, id int64) bool {
+	a := c.cluster.WaitActivation(t.p, id)
+	return a != nil && a.Err == nil
+}

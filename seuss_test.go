@@ -1,0 +1,293 @@
+package seuss
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	s := New()
+	node, err := s.NewNode(NodeDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := node.InvokeSync("t/hello",
+		`function main(args) { return {msg: "hi " + args.who}; }`,
+		`{"who": "tester"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Path != "cold" {
+		t.Errorf("path = %q", inv.Path)
+	}
+	if !strings.Contains(inv.Output, `"msg":"hi tester"`) {
+		t.Errorf("output = %q", inv.Output)
+	}
+	if inv.Latency < 4*time.Millisecond || inv.Latency > 12*time.Millisecond {
+		t.Errorf("cold latency = %v", inv.Latency)
+	}
+
+	inv2, err := node.InvokeSync("t/hello", ``, `{"who": "again"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.Path != "hot" {
+		t.Errorf("second path = %q", inv2.Path)
+	}
+	st := node.Stats()
+	if st.Cold != 1 || st.Hot != 1 || st.CachedSnapshots != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSimulationClockAdvances(t *testing.T) {
+	s := New()
+	if s.Clock() != 0 {
+		t.Error("clock not at zero")
+	}
+	s.Spawn("sleeper", func(task *Task) { task.Sleep(5 * time.Second) })
+	s.Run()
+	if s.Clock() != 5*time.Second {
+		t.Errorf("clock = %v", s.Clock())
+	}
+	s.RunFor(3 * time.Second)
+	if s.Clock() != 8*time.Second {
+		t.Errorf("clock = %v", s.Clock())
+	}
+}
+
+func TestTaskNow(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.Spawn("w", func(task *Task) {
+		task.Sleep(time.Second)
+		at = task.Now()
+	})
+	s.Run()
+	if at != time.Second {
+		t.Errorf("Now = %v", at)
+	}
+}
+
+func TestFunctionHelpers(t *testing.T) {
+	n := NOP(7)
+	if n.Key != "user00007/nop" || n.Source != NOPSource {
+		t.Errorf("NOP = %+v", n)
+	}
+	c := CPUBound("k/cpu", 150)
+	if c.CPU != 150*time.Millisecond {
+		t.Errorf("CPUBound = %+v", c)
+	}
+	i := IOBound("k/io", "http://x", 250*time.Millisecond)
+	if i.IO != 250*time.Millisecond {
+		t.Errorf("IOBound = %+v", i)
+	}
+}
+
+func TestSeussClusterTrial(t *testing.T) {
+	s := New()
+	c, err := s.NewSeussCluster(NodeDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend() != "seuss" {
+		t.Errorf("backend = %q", c.Backend())
+	}
+	fns := []Function{NOP(0), NOP(1)}
+	res := c.RunTrial(Trial{N: 100, Fns: fns, C: 8, Seed: 1})
+	if res.Completed != 100 || res.Errors != 0 {
+		t.Errorf("completed=%d errors=%d", res.Completed, res.Errors)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("no throughput")
+	}
+	sum := Summarize(res.Latencies)
+	if sum.Count != 100 || sum.P50 <= 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestLinuxClusterTrial(t *testing.T) {
+	s := New()
+	c := s.NewLinuxCluster(LinuxConfig{Seed: 1})
+	if c.Backend() != "linux" {
+		t.Errorf("backend = %q", c.Backend())
+	}
+	res := c.RunTrial(Trial{N: 60, Fns: []Function{NOP(0)}, C: 8, Seed: 1})
+	if res.Completed != 60 || res.Errors != 0 {
+		t.Errorf("completed=%d errors=%d", res.Completed, res.Errors)
+	}
+}
+
+func TestClusterBurstSmoke(t *testing.T) {
+	s := New()
+	cfg := NodeDefaults()
+	cfg.HTTPHandler = func(url string) (string, time.Duration, error) {
+		return "OK", 50 * time.Millisecond, nil
+	}
+	c, err := s.NewSeussCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := c.RunBurst(Burst{
+		Threads:    8,
+		BGFns:      []Function{IOBound("bg/io", "http://ext", 0)},
+		BGRate:     10,
+		BurstEvery: 2 * time.Second,
+		BurstSize:  8,
+		BurstCPUms: 20,
+		Bursts:     2,
+		Seed:       1,
+	})
+	if tl.Count("burst") != 16 {
+		t.Errorf("burst count = %d", tl.Count("burst"))
+	}
+	if tl.Errors("") != 0 {
+		t.Errorf("errors = %d", tl.Errors(""))
+	}
+}
+
+func TestInvokeErrorSurfaces(t *testing.T) {
+	s := New()
+	node, err := s.NewNode(NodeDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.InvokeSync("bad/syntax", `function main( {`, `{}`); err == nil {
+		t.Error("syntax error not surfaced")
+	}
+}
+
+func TestNoAOConfig(t *testing.T) {
+	s := New()
+	cfg := NodeDefaults()
+	cfg.DisableAO = true
+	node, err := s.NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := node.InvokeSync("t/nop", NOPSource, `{}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No-AO cold starts are dramatically slower (paper: 42 ms).
+	if inv.Latency < 30*time.Millisecond {
+		t.Errorf("no-AO cold = %v", inv.Latency)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (time.Duration, string) {
+		s := New()
+		node, err := s.NewNode(NodeDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv, err := node.InvokeSync("d/fn", `function main(a) { return {v: 1 + 2}; }`, `{}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inv.Latency, inv.Output
+	}
+	l1, o1 := run()
+	l2, o2 := run()
+	if l1 != l2 || o1 != o2 {
+		t.Errorf("nondeterministic: %v/%q vs %v/%q", l1, o1, l2, o2)
+	}
+}
+
+func TestAsyncThroughFacade(t *testing.T) {
+	s := New()
+	c, err := s.NewSeussCluster(NodeDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	s.Spawn("client", func(task *Task) {
+		id := c.InvokeAsync(task, NOP(0), `{}`)
+		ok = c.WaitActivation(task, id)
+	})
+	s.Run()
+	if !ok {
+		t.Error("async activation failed")
+	}
+}
+
+func TestFacadeAccessorsAndDistCluster(t *testing.T) {
+	s := New()
+	if s.Engine() == nil {
+		t.Error("Engine accessor")
+	}
+	node, err := s.NewNode(NodeDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Core() == nil {
+		t.Error("Core accessor")
+	}
+	tr := NewTrace(10)
+	if tr == nil || tr.Len() != 0 {
+		t.Error("NewTrace")
+	}
+
+	dc, err := s.NewDistCluster(DistConfig{Nodes: 2, Policy: PolicyMigrate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Nodes() != 2 {
+		t.Errorf("nodes = %d", dc.Nodes())
+	}
+	inv, servedBy, err := dc.InvokeSync("dist/fn", NOPSource, `{}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Path != "cold" || servedBy < 0 {
+		t.Errorf("first = %s on node %d", inv.Path, servedBy)
+	}
+	inv2, _, err := dc.InvokeSync("dist/fn", NOPSource, `{}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.Path == "cold" {
+		t.Error("second invocation went cold again")
+	}
+	if dc.Stats().ClusterColds != 1 {
+		t.Errorf("cluster colds = %d", dc.Stats().ClusterColds)
+	}
+	if len(dc.Holders("dist/fn")) == 0 {
+		t.Error("directory empty")
+	}
+	// Task-level Invoke through the platform cluster.
+	c, err := s.NewSeussCluster(NodeDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Platform() == nil {
+		t.Error("Platform accessor")
+	}
+	var invErr error
+	s.Spawn("client", func(task *Task) {
+		invErr = c.Invoke(task, NOP(1), `{}`)
+	})
+	s.Run()
+	if invErr != nil {
+		t.Error(invErr)
+	}
+}
+
+func TestNodeInvokeRuntimeUnknown(t *testing.T) {
+	s := New()
+	node, err := s.NewNode(NodeDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rtErr error
+	s.Spawn("client", func(task *Task) {
+		_, rtErr = node.InvokeRuntime(task, "erlang", "x/fn", NOPSource, `{}`)
+	})
+	s.Run()
+	if rtErr == nil {
+		t.Error("unknown runtime accepted through facade")
+	}
+}
