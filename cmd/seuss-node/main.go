@@ -2,7 +2,14 @@
 // endpoint — a demonstration that the library is a working function
 // platform, not only an experiment harness.
 //
-//	seuss-node [-addr :8080] [-no-ao]
+//	seuss-node [-addr :8080] [-shards N] [-no-ao] [-no-steal]
+//
+// The node is a sharded pool: N shared-nothing compute shards (default:
+// one per CPU), each hydrated from a single encoded base-runtime
+// snapshot, behind one front door. Requests route to shards by
+// function-key hash; HTTP requests are served concurrently with no
+// global lock — the old "simulation is single-threaded by design" mutex
+// is gone, replaced by per-shard goroutine ownership.
 //
 // Invoke a function:
 //
@@ -13,53 +20,77 @@
 //	}'
 //
 // The response carries the driver's output plus the path taken (cold,
-// warm, hot) and the node-side virtual latency. GET /stats reports the
-// node's caches and counters; GET /healthz liveness.
+// warm, hot), the serving shard, and the shard-side virtual latency.
+// GET /stats reports pool-aggregated caches and counters (each shard's
+// contribution snapshotted between invocations, never mid-flight);
+// GET /healthz liveness. Errors are JSON on every endpoint.
 package main
 
 import (
 	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"sync"
+	"runtime"
 	"time"
 
 	"seuss"
 )
 
 type server struct {
-	mu     sync.Mutex // the simulation is single-threaded by design
-	sim    *seuss.Simulation
-	node   *seuss.Node
+	pool   *seuss.NodePool
 	tracer *seuss.Trace
 }
 
 type invokeRequest struct {
-	Key    string          `json:"key"`
-	Source string          `json:"source"`
-	Args   json.RawMessage `json:"args"`
+	Key     string          `json:"key"`
+	Source  string          `json:"source"`
+	Args    json.RawMessage `json:"args"`
+	Runtime string          `json:"runtime,omitempty"`
 }
 
 type invokeResponse struct {
 	Path      string          `json:"path"`
+	Shard     int             `json:"shard"`
+	Stolen    bool            `json:"stolen,omitempty"`
 	LatencyMS float64         `json:"latency_ms"`
 	Output    json.RawMessage `json:"output"`
 }
 
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the uniform JSON error envelope every endpoint uses.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// requireMethod enforces the endpoint's HTTP method, answering with a
+// JSON 405 otherwise.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, method+" only")
+		return false
+	}
+	return true
+}
+
 func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req invokeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
 	if req.Key == "" || req.Source == "" {
-		http.Error(w, "key and source are required", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "key and source are required")
 		return
 	}
 	args := "{}"
@@ -67,33 +98,51 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		args = string(req.Args)
 	}
 
-	s.mu.Lock()
-	inv, err := s.node.InvokeSync(req.Key, req.Source, args)
-	s.mu.Unlock()
+	// No lock: the pool is safe for concurrent use, and each request
+	// runs on whichever shard owns (or steals) its key.
+	inv, err := s.pool.InvokeRuntime(req.Runtime, req.Key, req.Source, args)
 	if err != nil {
-		http.Error(w, "invocation failed: "+err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, "invocation failed: "+err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(invokeResponse{
+	writeJSON(w, http.StatusOK, invokeResponse{
 		Path:      inv.Path,
+		Shard:     inv.Shard,
+		Stolen:    inv.Stolen,
 		LatencyMS: float64(inv.Latency.Microseconds()) / 1000,
 		Output:    json.RawMessage(inv.Output),
 	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	st := s.node.Stats()
-	clock := s.sim.Clock()
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]interface{}{
-		"virtual_clock":      clock.String(),
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	st, err := s.pool.Stats()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "stats: "+err.Error())
+		return
+	}
+	shards := make([]map[string]interface{}, 0, len(st.Shards))
+	for _, ss := range st.Shards {
+		shards = append(shards, map[string]interface{}{
+			"shard":            ss.Shard,
+			"virtual_clock":    ss.Clock.String(),
+			"cold":             ss.Node.Cold,
+			"warm":             ss.Node.Warm,
+			"hot":              ss.Node.Hot,
+			"cached_snapshots": ss.CachedSnapshots,
+			"idle_ucs":         ss.IdleUCs,
+			"memory_used_mb":   float64(ss.Mem.BytesInUse) / 1e6,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"shards":             s.pool.Shards(),
 		"cold":               st.Cold,
 		"warm":               st.Warm,
 		"hot":                st.Hot,
 		"errors":             st.Errors,
+		"stolen":             st.Stolen,
 		"cached_snapshots":   st.CachedSnapshots,
 		"idle_ucs":           st.IdleUCs,
 		"ucs_deployed":       st.UCsDeployed,
@@ -101,28 +150,32 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"snapshots_captured": st.SnapshotsCaptured,
 		"snapshots_evicted":  st.SnapshotsEvicted,
 		"memory_used_mb":     float64(st.MemoryUsedBytes) / 1e6,
+		"per_shard":          shards,
 	})
 }
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	noAO := flag.Bool("no-ao", false, "disable anticipatory optimizations")
-	flag.Parse()
-
-	simul := seuss.New()
-	cfg := seuss.NodeDefaults()
-	cfg.DisableAO = *noAO
-	cfg.Tracer = seuss.NewTrace(100000)
-	start := time.Now()
-	node, err := simul.NewNode(cfg)
-	if err != nil {
-		log.Fatalf("seuss-node: boot: %v", err)
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
 	}
-	log.Printf("node booted in %v (AO=%v); runtime snapshot cached", time.Since(start), !*noAO)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
 
-	s := &server{sim: simul, node: node, tracer: cfg.Tracer}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+// handleTrace serves the pool's event timeline in Chrome trace-event
+// format — load it at chrome://tracing or ui.perfetto.dev. Events from
+// different shards interleave on their own per-shard virtual clocks.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.WriteChromeTrace(w); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 // mux wires the server's routes (shared with the tests).
@@ -130,24 +183,34 @@ func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("/invoke", s.handleInvoke)
 	m.HandleFunc("/stats", s.handleStats)
-	m.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	m.HandleFunc("/healthz", s.handleHealthz)
 	m.HandleFunc("/trace", s.handleTrace)
 	return m
 }
 
-// handleTrace serves the node's event timeline in Chrome trace-event
-// format — load it at chrome://tracing or ui.perfetto.dev.
-func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.tracer == nil {
-		http.Error(w, "tracing disabled", http.StatusNotFound)
-		return
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", runtime.NumCPU(), "compute shard count")
+	noAO := flag.Bool("no-ao", false, "disable anticipatory optimizations")
+	noSteal := flag.Bool("no-steal", false, "disable work stealing (pin keys to owner shards)")
+	flag.Parse()
+
+	cfg := seuss.PoolConfig{
+		Shards:              *shards,
+		Node:                seuss.NodeDefaults(),
+		DisableWorkStealing: *noSteal,
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.tracer.WriteChromeTrace(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	cfg.Node.DisableAO = *noAO
+	cfg.Node.Tracer = seuss.NewTrace(100000)
+	start := time.Now()
+	pool, err := seuss.NewNodePool(cfg)
+	if err != nil {
+		log.Fatalf("seuss-node: boot: %v", err)
 	}
+	log.Printf("pool booted in %v: %d shards hydrated from one runtime snapshot (AO=%v)",
+		time.Since(start), pool.Shards(), !*noAO)
+
+	s := &server{pool: pool, tracer: cfg.Node.Tracer}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
 }

@@ -2,22 +2,29 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"seuss"
 )
 
-func newTestServer(t *testing.T) *httptest.Server {
+func newTestPool(t *testing.T, shards int) *seuss.NodePool {
 	t.Helper()
-	sim := seuss.New()
-	node, err := sim.NewNode(seuss.NodeDefaults())
+	pool, err := seuss.NewNodePool(seuss.PoolConfig{Shards: shards, Node: seuss.NodeDefaults()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &server{sim: sim, node: node}
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := &server{pool: newTestPool(t, 2)}
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
 	return ts
@@ -39,6 +46,25 @@ func post(t *testing.T, ts *httptest.Server, body string) (*http.Response, invok
 	return resp, out
 }
 
+// errorBody decodes the uniform JSON error envelope, failing the test
+// if the response is not JSON with a non-empty "error" field.
+func errorBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if e.Error == "" {
+		t.Error("error body has empty \"error\" field")
+	}
+	return e.Error
+}
+
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -48,6 +74,43 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("status = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestMethodEnforcement(t *testing.T) {
+	// Every endpoint rejects the wrong verb with a JSON 405 carrying an
+	// Allow header — same envelope as /invoke errors.
+	ts := newTestServer(t)
+	for path, allow := range map[string]string{
+		"/invoke":  http.MethodPost,
+		"/stats":   http.MethodGet,
+		"/healthz": http.MethodGet,
+		"/trace":   http.MethodGet,
+	} {
+		wrong := http.MethodPost
+		if allow == http.MethodPost {
+			wrong = http.MethodGet
+		}
+		req, _ := http.NewRequest(wrong, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d, want 405", wrong, path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != allow {
+			t.Errorf("%s: Allow = %q, want %q", path, got, allow)
+		}
+		errorBody(t, resp)
+		resp.Body.Close()
 	}
 }
 
@@ -69,10 +132,13 @@ func TestInvokeOverHTTP(t *testing.T) {
 		t.Errorf("output = %s", out.Output)
 	}
 
-	// Second call: hot.
+	// Second call: hot, on the same owner shard.
 	_, out2 := post(t, ts, body)
 	if out2.Path != "hot" {
 		t.Errorf("second path = %q", out2.Path)
+	}
+	if out2.Shard != out.Shard {
+		t.Errorf("key moved shards: %d -> %d", out.Shard, out2.Shard)
 	}
 }
 
@@ -87,15 +153,7 @@ func TestInvokeValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
 		}
-	}
-	// GET is rejected.
-	resp, err := http.Get(ts.URL + "/invoke")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET status = %d", resp.StatusCode)
+		errorBody(t, resp)
 	}
 }
 
@@ -105,6 +163,7 @@ func TestInvokeBadSource(t *testing.T) {
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("status = %d, want 422", resp.StatusCode)
 	}
+	errorBody(t, resp)
 }
 
 func TestStatsEndpoint(t *testing.T) {
@@ -129,18 +188,85 @@ func TestStatsEndpoint(t *testing.T) {
 	if stats["memory_used_mb"].(float64) < 100 {
 		t.Errorf("memory = %v", stats["memory_used_mb"])
 	}
+	if stats["shards"].(float64) != 2 {
+		t.Errorf("shards = %v", stats["shards"])
+	}
+	if per := stats["per_shard"].([]interface{}); len(per) != 2 {
+		t.Errorf("per_shard has %d entries", len(per))
+	}
 }
 
-func TestTraceEndpoint(t *testing.T) {
-	sim := seuss.New()
-	cfg := seuss.NodeDefaults()
-	tracer := seuss.NewTrace(0)
-	cfg.Tracer = tracer
-	node, err := sim.NewNode(cfg)
+func TestConcurrentHTTPInvocations(t *testing.T) {
+	// The lock-free server must survive parallel clients: no lost or
+	// failed requests, and /stats totals match what clients observed.
+	ts := newTestServer(t)
+	const (
+		workers = 8
+		perW    = 10
+		keys    = 5
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perW)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("par/fn%d", (w*perW+i)%keys)
+				body := fmt.Sprintf(`{"key": %q, "source": "function main(a) { return {ok: true}; }"}`, key)
+				resp, err := http.Post(ts.URL+"/invoke", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out invokeResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", key, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &server{sim: sim, node: node, tracer: tracer}
+	defer resp.Body.Close()
+	var stats map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	total := stats["cold"].(float64) + stats["warm"].(float64) + stats["hot"].(float64)
+	if total != workers*perW {
+		t.Errorf("served %v invocations, want %d", total, workers*perW)
+	}
+	if stats["errors"].(float64) != 0 {
+		t.Errorf("errors = %v", stats["errors"])
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	cfg := seuss.PoolConfig{Shards: 2, Node: seuss.NodeDefaults()}
+	tracer := seuss.NewTrace(0)
+	cfg.Node.Tracer = tracer
+	pool, err := seuss.NewNodePool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	srv := &server{pool: pool, tracer: tracer}
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 
@@ -171,4 +297,5 @@ func TestTraceEndpointDisabled(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("status = %d", resp.StatusCode)
 	}
+	errorBody(t, resp)
 }

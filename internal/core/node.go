@@ -116,6 +116,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Normalized returns the config with defaults applied — the exact
+// config a node built from it will run with. Exported for callers that
+// derive values from the defaulted form before construction (e.g. a
+// shard pool dividing the defaulted memory budget).
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 // DefaultConfig returns the paper's configuration: 16 cores, 88 GB,
 // both AOs on.
 func DefaultConfig() Config {
@@ -157,6 +163,13 @@ type fnEntry struct {
 }
 
 // Node is one SEUSS compute node.
+//
+// Ownership contract: a Node is NOT safe for concurrent use. All of its
+// methods — Invoke, Stats, CachedSnapshots, IdleUCs, MemStats, the
+// adopt/export surface — must be called from the single goroutine that
+// owns the node's sim.Engine (in a sharded pool, the shard goroutine;
+// see internal/shardpool). Cross-goroutine access must be routed
+// through that owner, not performed directly.
 type Node struct {
 	eng   *sim.Engine
 	cfg   Config
@@ -174,46 +187,97 @@ type Node struct {
 	stats Stats
 }
 
+// newNodeShell builds the node structure around an existing store; the
+// caller is responsible for populating the runtime snapshots.
+func newNodeShell(eng *sim.Engine, cfg Config, store *mem.Store) *Node {
+	return &Node{
+		eng:          eng,
+		cfg:          cfg,
+		store:        store,
+		cores:        sim.NewResource(eng, cfg.Cores),
+		proxy:        netsim.NewProxy(cfg.Cores),
+		fnSnaps:      make(map[string]*fnEntry),
+		idle:         make(map[string][]*idleUC),
+		runtimeSnaps: make(map[string]*snapshot.Snapshot, len(cfg.Runtimes)),
+	}
+}
+
+// BootRuntime performs system initialization for one interpreter
+// runtime inside store: boot the unikernel, load the interpreter, start
+// the invocation driver, apply the configured AOs, and capture the base
+// runtime snapshot ("runtime/<name>"). Initialization happens before
+// the experiment clock matters and charges no engine time.
+//
+// It is exported so a sharded pool can boot the runtime image once,
+// export it through the snapshot codec, and hydrate every shard from
+// the encoded bytes instead of re-running AO per shard.
+func BootRuntime(store *mem.Store, cfg Config, name string) (*snapshot.Snapshot, error) {
+	cfg = cfg.withDefaults() // fold DisableAO into the per-AO flags
+	prof, err := interp.ProfileByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: system init: %w", err)
+	}
+	initEnv := &libos.CountingEnv{}
+	boot, err := uc.BootFreshProfile(store, nil, initEnv, prof)
+	if err != nil {
+		return nil, fmt.Errorf("core: system init (%s): %w", name, err)
+	}
+	if cfg.NetworkAO {
+		if err := boot.Guest().Unikernel().WarmNetwork(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.InterpreterAO {
+		if err := boot.Guest().WarmInterpreter(); err != nil {
+			return nil, err
+		}
+	}
+	snap, err := boot.Capture("runtime/"+name, uc.TriggerPCDriverListen)
+	if err != nil {
+		return nil, fmt.Errorf("core: runtime snapshot (%s): %w", name, err)
+	}
+	return snap, nil
+}
+
 // NewNode builds a node and performs system initialization: boot the
 // unikernel into the interpreter, run the invocation driver, apply the
-// configured AOs, and capture the base runtime snapshot. Initialization
-// happens before the experiment clock matters and charges no engine
-// time.
+// configured AOs, and capture the base runtime snapshot.
 func NewNode(eng *sim.Engine, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
-	n := &Node{
-		eng:     eng,
-		cfg:     cfg,
-		store:   mem.NewStore(cfg.MemoryBytes),
-		cores:   sim.NewResource(eng, cfg.Cores),
-		proxy:   netsim.NewProxy(cfg.Cores),
-		fnSnaps: make(map[string]*fnEntry),
-		idle:    make(map[string][]*idleUC),
-	}
-	n.runtimeSnaps = make(map[string]*snapshot.Snapshot, len(cfg.Runtimes))
+	n := newNodeShell(eng, cfg, mem.NewStore(cfg.MemoryBytes))
 	for _, name := range cfg.Runtimes {
-		prof, err := interp.ProfileByName(name)
+		snap, err := BootRuntime(n.store, cfg, name)
 		if err != nil {
-			return nil, fmt.Errorf("core: system init: %w", err)
+			return nil, err
 		}
-		initEnv := &libos.CountingEnv{}
-		boot, err := uc.BootFreshProfile(n.store, nil, initEnv, prof)
-		if err != nil {
-			return nil, fmt.Errorf("core: system init (%s): %w", name, err)
+		n.runtimeSnaps[name] = snap
+		if n.runtimeSnap == nil {
+			n.runtimeSnap = snap
 		}
-		if cfg.NetworkAO {
-			if err := boot.Guest().Unikernel().WarmNetwork(); err != nil {
-				return nil, err
-			}
+	}
+	return n, nil
+}
+
+// NewNodeFromSnapshots builds a node whose base runtime snapshots are
+// already resident in store — typically materialized from encoded diffs
+// (snapshot.Materialize) rather than booted in place. This is how a
+// sharded pool pays AO and runtime boot once: boot + capture on a
+// template, export, then hydrate one node per shard from the bytes.
+//
+// snaps must contain one entry per configured runtime, keyed by runtime
+// name ("nodejs"), each carrying its guest payload. The first
+// configured runtime becomes the default. The node takes ownership of
+// store and the snapshots.
+func NewNodeFromSnapshots(eng *sim.Engine, cfg Config, store *mem.Store, snaps map[string]*snapshot.Snapshot) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := newNodeShell(eng, cfg, store)
+	for _, name := range cfg.Runtimes {
+		snap, ok := snaps[name]
+		if !ok {
+			return nil, fmt.Errorf("core: hydrate: no snapshot for runtime %q", name)
 		}
-		if cfg.InterpreterAO {
-			if err := boot.Guest().WarmInterpreter(); err != nil {
-				return nil, err
-			}
-		}
-		snap, err := boot.Capture("runtime/"+name, uc.TriggerPCDriverListen)
-		if err != nil {
-			return nil, fmt.Errorf("core: runtime snapshot (%s): %w", name, err)
+		if _, isPayload := snap.Payload().(uc.Payload); !isPayload {
+			return nil, fmt.Errorf("core: hydrate: runtime %q snapshot has no guest payload", name)
 		}
 		n.runtimeSnaps[name] = snap
 		if n.runtimeSnap == nil {

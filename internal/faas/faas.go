@@ -1,14 +1,17 @@
 // Package faas implements the OpenWhisk-like FaaS platform of the
 // macro evaluation (§6, §7): an action registry (the CouchDB role), a
 // topic-based message bus (the Kafka role), a controller with its
-// API-gateway overheads, and two interchangeable compute backends —
+// API-gateway overheads, and interchangeable compute backends —
 //
 //   - LinuxBackend: the stock OpenWhisk invoker managing Docker
 //     containers, with the stemcell cache, the container cache limit,
-//     and the bridged network whose broadcast scaling caps it; and
+//     and the bridged network whose broadcast scaling caps it;
 //   - SeussBackend: the drop-in SEUSS OS replacement reached through
 //     the shim process, whose single TCP connection serializes
-//     messages and adds the ≈8 ms hop of §6.
+//     messages and adds the ≈8 ms hop of §6; and
+//   - SeussPoolBackend: the same shim front door over a sharded,
+//     shared-nothing node pool (internal/shardpool) instead of a
+//     single node.
 //
 // Both satisfy workload.Invoker, so every macro experiment runs
 // unmodified against either.
@@ -22,6 +25,7 @@ import (
 	"seuss/internal/costs"
 	"seuss/internal/isolation"
 	"seuss/internal/netsim"
+	"seuss/internal/shardpool"
 	"seuss/internal/sim"
 	"seuss/internal/workload"
 )
@@ -187,6 +191,57 @@ func (b *SeussBackend) Invoke(p *sim.Proc, spec workload.Spec, args string) erro
 	p.Sleep(costs.ShimHop - costs.ShimSerialize)
 	_, err := b.node.Invoke(p, core.Request{Key: spec.Key, Source: spec.Source, Args: args})
 	return err
+}
+
+// ---- SEUSS sharded-pool backend ----
+
+// SeussPoolBackend fronts a sharded node pool (internal/shardpool)
+// instead of a single node: the same shim-process front door, but the
+// compute side fans out across shared-nothing shards, so the invoker
+// no longer serializes on one engine.
+//
+// Bridge semantics: the platform's virtual clock and the pool's
+// per-shard virtual clocks are distinct. An invocation crosses the
+// boundary synchronously — the pool serves it in wall clock while the
+// platform clock is frozen — and the shard-side virtual service time
+// is then charged to the platform task as a Sleep. Platform-level
+// determinism therefore holds only for the overheads and the per-shard
+// latencies, not for cross-shard interleaving.
+type SeussPoolBackend struct {
+	pool *shardpool.Pool
+	shim *sim.Resource
+	rng  *sim.RNG
+}
+
+// NewSeussPoolBackend wraps a pool for platform use.
+func NewSeussPoolBackend(eng *sim.Engine, pool *shardpool.Pool) *SeussPoolBackend {
+	return &SeussPoolBackend{
+		pool: pool,
+		shim: sim.NewResource(eng, 1),
+		rng:  sim.NewRNG(0x5E05),
+	}
+}
+
+// Pool returns the underlying shard pool.
+func (b *SeussPoolBackend) Pool() *shardpool.Pool { return b.pool }
+
+// Name implements Backend.
+func (b *SeussPoolBackend) Name() string { return "seuss-pool" }
+
+// Invoke implements Backend: shim serialization and hop as for the
+// single-node backend, then the pool serves the request and its
+// shard-side virtual latency is charged to the platform clock.
+func (b *SeussPoolBackend) Invoke(p *sim.Proc, spec workload.Spec, args string) error {
+	b.shim.Acquire(p)
+	p.Sleep(b.rng.Jitter(costs.ShimSerialize, 0.08))
+	b.shim.Release()
+	p.Sleep(costs.ShimHop - costs.ShimSerialize)
+	res, err := b.pool.Invoke(core.Request{Key: spec.Key, Source: spec.Source, Args: args})
+	if err != nil {
+		return err
+	}
+	p.Sleep(res.Latency)
+	return nil
 }
 
 // ---- Linux backend ----

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"seuss/internal/core"
+	"seuss/internal/costs"
+	"seuss/internal/shardpool"
 	"seuss/internal/sim"
 	"seuss/internal/workload"
 )
@@ -373,5 +375,55 @@ func TestAsyncActivationFailureRecorded(t *testing.T) {
 	eng.Run()
 	if c.Failures == 0 {
 		t.Error("cluster failures not counted")
+	}
+}
+
+func TestSeussPoolBackend(t *testing.T) {
+	pool, err := shardpool.New(shardpool.Config{
+		Shards: 2,
+		Node:   core.Config{NetworkAO: true, InterpreterAO: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	eng := sim.NewEngine()
+	c := NewCluster(eng, NewSeussPoolBackend(eng, pool))
+	if c.Backend().Name() != "seuss-pool" {
+		t.Errorf("name = %q", c.Backend().Name())
+	}
+
+	specs := []workload.Spec{workload.NOPSpec(0), workload.NOPSpec(1), workload.NOPSpec(0)}
+	var clocks []time.Duration
+	eng.Go("client", func(p *sim.Proc) {
+		for _, spec := range specs {
+			before := time.Duration(p.Now())
+			if err := c.Invoke(p, spec, "{}"); err != nil {
+				t.Errorf("%s: %v", spec.Key, err)
+			}
+			clocks = append(clocks, time.Duration(p.Now())-before)
+		}
+	})
+	eng.Run()
+	if len(clocks) != len(specs) {
+		t.Fatalf("completed %d of %d", len(clocks), len(specs))
+	}
+	// The shard-side virtual latency is charged to the platform clock:
+	// every round trip costs at least the ≈8 ms shim hop plus service.
+	for i, d := range clocks {
+		if d < costs.ShimHop {
+			t.Errorf("invocation %d: platform span %v < shim hop", i, d)
+		}
+	}
+	st, err := pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Node.Cold + st.Node.Warm + st.Node.Hot; got != int64(len(specs)) {
+		t.Errorf("pool served %d, want %d", got, len(specs))
+	}
+	if c.Requests != int64(len(specs)) || c.Failures != 0 {
+		t.Errorf("requests=%d failures=%d", c.Requests, c.Failures)
 	}
 }

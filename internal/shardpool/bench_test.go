@@ -1,0 +1,48 @@
+package shardpool
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkShardedThroughput measures wall-clock invocations/sec
+// through the pool front door as the shard count grows. Keys are
+// pre-warmed so the measured path is the hot path — the workload where
+// the old single-lock node left all but one core idle. On a multicore
+// host, throughput should scale with shards (the acceptance bar is
+// >2× at 4 shards vs 1).
+func BenchmarkShardedThroughput(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	const keys = 64
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			pool, err := New(testConfig(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			for k := 0; k < keys; k++ {
+				if _, err := pool.InvokeSync(fmt.Sprintf("bench/fn%d", k), nopSource, "{}"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				k := 0
+				for pb.Next() {
+					key := fmt.Sprintf("bench/fn%d", k%keys)
+					if _, err := pool.InvokeSync(key, nopSource, "{}"); err != nil {
+						b.Fatal(err)
+					}
+					k++
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "invokes/sec")
+		})
+	}
+}

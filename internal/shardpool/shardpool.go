@@ -1,0 +1,468 @@
+// Package shardpool turns the single-node SEUSS reproduction into a
+// concurrency-safe multi-engine compute node: a shared-nothing pool of
+// N shards behind one front door.
+//
+// Snapshot-restore systems scale out by hydrating many independent
+// instances from one captured image. The pool does exactly that with
+// the existing snapshot codec: the base runtime image is booted and
+// anticipatorily optimized ONCE on a template store, captured, and
+// exported to bytes; each shard then materializes the encoded diff
+// into its own private mem.Store. Boot + AO cost is paid once per
+// process, never per shard.
+//
+// Each shard is a complete, independent (sim.Engine, mem.Store,
+// core.Node) triple owned by a dedicated OS goroutine. Shards share no
+// mutable state — no lock protects the serving path, because nothing
+// is shared to protect. Requests reach a shard through its queue; the
+// shard goroutine drives its engine to completion for one request at a
+// time, so the engine ownership contract (see sim.Engine) holds by
+// construction.
+//
+// Routing: a request's function key hashes to its owner shard, so a
+// function's snapshot and idle UCs stay shard-local and the hot/warm
+// paths keep their locality. When an owner's queue is backed up, the
+// request is instead published to a shared overflow queue that any
+// idle shard may steal from — skewed keys spill onto idle cores at the
+// cost of going cold on the thief (it captures its own function
+// snapshot, so repeated spill warms up too).
+//
+// Determinism: each shard's engine is a deterministic discrete-event
+// simulation with its own virtual clock and seed (cfg.Node.Seed +
+// shard ID). Given the same per-shard request sequence, a shard
+// reports identical virtual latencies run over run. Cross-shard
+// ordering — which shard's wall-clock work finishes first, how stolen
+// requests interleave — is explicitly NOT part of the deterministic
+// contract.
+package shardpool
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seuss/internal/core"
+	"seuss/internal/mem"
+	"seuss/internal/sim"
+	"seuss/internal/snapshot"
+	"seuss/internal/uc"
+)
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("shardpool: pool closed")
+
+// Config parameterizes a pool.
+type Config struct {
+	// Shards is the shard count (default: runtime.NumCPU()).
+	Shards int
+	// Node configures every shard's node identically. MemoryBytes is
+	// the WHOLE pool's budget; it is divided evenly across shards
+	// (shared-nothing, so each shard OOMs independently). Seed is the
+	// base seed; shard i runs with Seed+i.
+	Node core.Config
+	// QueueDepth is each shard's request queue capacity (default 128).
+	QueueDepth int
+	// StealThreshold is the owner-queue depth at or beyond which a
+	// request overflows to the shared steal queue (default 2).
+	StealThreshold int
+	// DisableWorkStealing pins every request to its hash-owner shard.
+	// Skewed keys then serialize on their owner — useful when per-shard
+	// request sequences must be exactly reproducible.
+	DisableWorkStealing bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = runtime.NumCPU()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 128
+	}
+	if c.StealThreshold == 0 {
+		c.StealThreshold = 2
+	}
+	// Normalize the node config here so per-shard derivations below
+	// (memory split, runtime list) work from the defaulted values, and
+	// flags like DisableAO take effect before the template boot.
+	c.Node = c.Node.Normalized()
+	return c
+}
+
+// Result is one invocation's outcome, annotated with where it ran.
+type Result struct {
+	// Path is the invocation path taken ("cold", "warm", "hot").
+	Path core.Path
+	// Output is the driver's JSON response.
+	Output string
+	// Latency is the shard-side service time in that shard's virtual
+	// clock.
+	Latency time.Duration
+	// Shard is the shard that served the request.
+	Shard int
+	// Stolen reports whether the request overflowed its owner shard
+	// and was served by a thief.
+	Stolen bool
+}
+
+// ShardStats is one shard's state, snapshotted inside its owning
+// goroutine (never read mid-invocation).
+type ShardStats struct {
+	Shard           int
+	Node            core.Stats
+	CachedSnapshots int
+	IdleUCs         int
+	Mem             mem.Stats
+	Clock           time.Duration
+}
+
+// Stats is the pool-level aggregate.
+type Stats struct {
+	// Node sums the per-shard counters.
+	Node core.Stats
+	// CachedSnapshots / IdleUCs sum the per-shard cache sizes.
+	CachedSnapshots int
+	IdleUCs         int
+	// MemoryUsedBytes sums per-shard physical memory in use.
+	MemoryUsedBytes int64
+	// Stolen counts requests served off their owner shard.
+	Stolen int64
+	// Shards is the per-shard breakdown.
+	Shards []ShardStats
+}
+
+// request is one unit of work delivered to a shard goroutine: an
+// invocation, or a control read of shard state.
+type request struct {
+	req   core.Request
+	stats bool // control: snapshot shard stats instead of invoking
+	reply chan response
+}
+
+type response struct {
+	res    core.Result
+	err    error
+	shard  int
+	stolen bool
+	stats  ShardStats
+}
+
+// shard is one shared-nothing compute unit: engine + store + node,
+// owned exclusively by its loop goroutine.
+type shard struct {
+	id   int
+	pool *Pool
+	eng  *sim.Engine
+	node *core.Node
+	reqs chan *request
+}
+
+// Pool is the front door over N shards.
+type Pool struct {
+	cfg      Config
+	shards   []*shard
+	overflow chan *request
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	stolen   atomic.Int64
+}
+
+// New hydrates and starts a pool.
+//
+// The base runtime snapshot for every configured runtime is booted once
+// on a throwaway template store, exported through the snapshot codec,
+// and materialized into each shard's private store — the codec
+// round-trip is the live hydration path, not a test fixture.
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shardpool: invalid shard count %d", cfg.Shards)
+	}
+
+	// Template phase: pay boot + AO once, keep only the encoded bytes.
+	runtimes := cfg.Node.Runtimes
+	if len(runtimes) == 0 {
+		runtimes = []string{"nodejs"}
+	}
+	tmpl := mem.NewStore(0) // unbounded scratch; discarded after export
+	encoded := make(map[string][]byte, len(runtimes))
+	for _, name := range runtimes {
+		snap, err := core.BootRuntime(tmpl, cfg.Node, name)
+		if err != nil {
+			return nil, fmt.Errorf("shardpool: template: %w", err)
+		}
+		var buf bytes.Buffer
+		if err := snap.Export(&buf); err != nil {
+			return nil, fmt.Errorf("shardpool: export %s: %w", name, err)
+		}
+		encoded[name] = buf.Bytes()
+	}
+
+	p := &Pool{
+		cfg:      cfg,
+		overflow: make(chan *request, cfg.Shards*cfg.QueueDepth),
+		quit:     make(chan struct{}),
+	}
+	perShardMem := cfg.Node.MemoryBytes
+	if perShardMem > 0 {
+		perShardMem /= int64(cfg.Shards)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s, err := p.hydrateShard(i, perShardMem, encoded)
+		if err != nil {
+			return nil, err
+		}
+		p.shards = append(p.shards, s)
+	}
+	for _, s := range p.shards {
+		p.wg.Add(1)
+		go s.loop()
+	}
+	return p, nil
+}
+
+// hydrateShard materializes the encoded runtime images into a fresh
+// store and builds the shard's node around them.
+func (p *Pool) hydrateShard(id int, memBytes int64, encoded map[string][]byte) (*shard, error) {
+	st := mem.NewStore(memBytes)
+	snaps := make(map[string]*snapshot.Snapshot, len(encoded))
+	for name, enc := range encoded {
+		diff, err := snapshot.Import(bytes.NewReader(enc))
+		if err != nil {
+			return nil, fmt.Errorf("shardpool: shard %d: import %s: %w", id, name, err)
+		}
+		snap, err := snapshot.Materialize(diff, st)
+		if err != nil {
+			return nil, fmt.Errorf("shardpool: shard %d: materialize %s: %w", id, name, err)
+		}
+		payload, err := uc.DecodePayload(diff.PayloadBytes)
+		if err != nil {
+			return nil, fmt.Errorf("shardpool: shard %d: payload %s: %w", id, name, err)
+		}
+		snap.SetPayload(payload)
+		snaps[name] = snap
+	}
+	eng := sim.NewEngine()
+	nodeCfg := p.cfg.Node
+	nodeCfg.MemoryBytes = memBytes
+	nodeCfg.Seed = p.cfg.Node.Seed + int64(id)
+	node, err := core.NewNodeFromSnapshots(eng, nodeCfg, st, snaps)
+	if err != nil {
+		return nil, fmt.Errorf("shardpool: shard %d: %w", id, err)
+	}
+	return &shard{
+		id:   id,
+		pool: p,
+		eng:  eng,
+		node: node,
+		reqs: make(chan *request, p.cfg.QueueDepth),
+	}, nil
+}
+
+// Shards returns the shard count.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardFor routes a key to its owner shard by FNV-1a hash.
+func (p *Pool) shardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(p.shards)))
+}
+
+// OwnerShard exposes the routing decision (tests, instrumentation).
+func (p *Pool) OwnerShard(key string) int { return p.shardFor(key) }
+
+// loop is a shard goroutine: it exclusively owns the shard's engine and
+// node, serving its own queue with priority and stealing from the
+// shared overflow queue when idle.
+func (s *shard) loop() {
+	defer s.pool.wg.Done()
+	for {
+		// Own queue first: preserves hot/warm locality for owned keys
+		// even when the overflow queue is non-empty.
+		select {
+		case r := <-s.reqs:
+			s.serve(r, false)
+			continue
+		default:
+		}
+		select {
+		case r := <-s.reqs:
+			s.serve(r, false)
+		case r := <-s.pool.overflow:
+			s.serve(r, true)
+		case <-s.pool.quit:
+			return
+		}
+	}
+}
+
+// serve runs one request to completion on the shard's engine. stolen
+// marks requests picked off the overflow queue by a non-owner.
+func (s *shard) serve(r *request, stolen bool) {
+	if r.stats {
+		st := s.node.Stats()
+		r.reply <- response{shard: s.id, stats: ShardStats{
+			Shard:           s.id,
+			Node:            st,
+			CachedSnapshots: s.node.CachedSnapshots(),
+			IdleUCs:         s.node.IdleUCs(),
+			Mem:             s.node.MemStats(),
+			Clock:           time.Duration(s.eng.Now()),
+		}}
+		return
+	}
+	var res core.Result
+	var err error
+	s.eng.Go("invoke:"+r.req.Key, func(p *sim.Proc) {
+		res, err = s.node.Invoke(p, r.req)
+	})
+	s.eng.Run()
+	if stolen {
+		s.pool.stolen.Add(1)
+	}
+	r.reply <- response{res: res, err: err, shard: s.id, stolen: stolen}
+}
+
+// submit routes a request: owner shard when its queue is shallow, the
+// shared overflow queue when the owner is backed up (unless stealing is
+// disabled). It never blocks the pool shut-down path.
+func (p *Pool) submit(r *request, owner int) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	s := p.shards[owner]
+	if !p.cfg.DisableWorkStealing && !r.stats && len(s.reqs) >= p.cfg.StealThreshold {
+		select {
+		case p.overflow <- r:
+			return nil
+		default:
+			// Overflow full too; fall through to the owner.
+		}
+	}
+	select {
+	case s.reqs <- r:
+		return nil
+	case <-p.quit:
+		return ErrClosed
+	}
+}
+
+// await blocks for a request's reply, bailing out if the pool shuts
+// down underneath a still-queued request (replies are buffered, so a
+// racing serve is never lost — it is drained here).
+func (p *Pool) await(r *request) (response, error) {
+	select {
+	case resp := <-r.reply:
+		return resp, nil
+	case <-p.quit:
+		select {
+		case resp := <-r.reply:
+			return resp, nil
+		default:
+			return response{}, ErrClosed
+		}
+	}
+}
+
+// Invoke services one invocation through the pool and reports where it
+// ran. Safe for concurrent use from any number of goroutines.
+func (p *Pool) Invoke(req core.Request) (Result, error) {
+	r := &request{req: req, reply: make(chan response, 1)}
+	if err := p.submit(r, p.shardFor(req.Key)); err != nil {
+		return Result{}, err
+	}
+	resp, err := p.await(r)
+	if err != nil {
+		return Result{}, err
+	}
+	if resp.err != nil {
+		return Result{Shard: resp.shard, Stolen: resp.stolen}, resp.err
+	}
+	return Result{
+		Path:    resp.res.Path,
+		Output:  resp.res.Output,
+		Latency: resp.res.Latency,
+		Shard:   resp.shard,
+		Stolen:  resp.stolen,
+	}, nil
+}
+
+// InvokeSync is the string-level convenience form mirroring the
+// single-node API.
+func (p *Pool) InvokeSync(key, source, args string) (Result, error) {
+	return p.Invoke(core.Request{Key: key, Source: source, Args: args})
+}
+
+// ShardStats snapshots one shard's state by routing the read through
+// its owning goroutine — the reply is taken between invocations, never
+// mid-invocation.
+func (p *Pool) ShardStats(shard int) (ShardStats, error) {
+	if shard < 0 || shard >= len(p.shards) {
+		return ShardStats{}, fmt.Errorf("shardpool: no shard %d", shard)
+	}
+	r := &request{stats: true, reply: make(chan response, 1)}
+	if err := p.submit(r, shard); err != nil {
+		return ShardStats{}, err
+	}
+	resp, err := p.await(r)
+	if err != nil {
+		return ShardStats{}, err
+	}
+	return resp.stats, nil
+}
+
+// Stats aggregates counters across every shard. Each shard's snapshot
+// is consistent (taken inside its goroutine); the aggregate is a union
+// of per-shard snapshots taken at slightly different wall-clock
+// moments, which is the strongest statement a shared-nothing design
+// can make.
+func (p *Pool) Stats() (Stats, error) {
+	// Fan the control reads out so one busy shard does not serialize
+	// the whole scrape.
+	replies := make([]chan response, len(p.shards))
+	for i := range p.shards {
+		r := &request{stats: true, reply: make(chan response, 1)}
+		if err := p.submit(r, i); err != nil {
+			return Stats{}, err
+		}
+		replies[i] = r.reply
+	}
+	var out Stats
+	out.Stolen = p.stolen.Load()
+	for _, ch := range replies {
+		resp, err := p.await(&request{reply: ch})
+		if err != nil {
+			return Stats{}, err
+		}
+		ss := resp.stats
+		out.Shards = append(out.Shards, ss)
+		out.Node.Cold += ss.Node.Cold
+		out.Node.Warm += ss.Node.Warm
+		out.Node.Hot += ss.Node.Hot
+		out.Node.Errors += ss.Node.Errors
+		out.Node.UCsDeployed += ss.Node.UCsDeployed
+		out.Node.UCsReclaimed += ss.Node.UCsReclaimed
+		out.Node.SnapshotsCaptured += ss.Node.SnapshotsCaptured
+		out.Node.SnapshotsEvicted += ss.Node.SnapshotsEvicted
+		out.CachedSnapshots += ss.CachedSnapshots
+		out.IdleUCs += ss.IdleUCs
+		out.MemoryUsedBytes += ss.Mem.BytesInUse
+	}
+	return out, nil
+}
+
+// Close stops the shard goroutines and rejects further submissions.
+// In-flight requests complete; queued-but-unserved requests may be
+// abandoned, so quiesce callers first. Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.quit)
+	p.wg.Wait()
+}

@@ -75,6 +75,15 @@ func (h *eventHeap) Pop() interface{} {
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create one with NewEngine.
+//
+// Ownership contract: an Engine is single-threaded by construction and
+// is NOT safe for concurrent use. Every call — scheduling, Run/Step,
+// and every method of every Proc, Queue, Resource, or Signal bound to
+// it — must come from one owning OS goroutine (process goroutines
+// spawned by Go hand off strictly, so they count as the owner while
+// dispatched). A sharded system therefore runs one engine per shard,
+// each driven only by its shard goroutine; determinism holds per
+// engine, and nothing is promised about event ordering across engines.
 type Engine struct {
 	now     Time
 	pq      eventHeap

@@ -262,6 +262,48 @@ func Import(r io.Reader) (*ImportedDiff, error) {
 	return out, nil
 }
 
+// Materialize reconstructs a *root* snapshot (one exported with no
+// base) inside st, backed entirely by fresh local frames. This is the
+// hydration path of the sharded node pool: the base runtime image is
+// booted and captured once, exported through the codec, and then
+// materialized into each shard's private store — so anticipatory
+// optimization and runtime boot are paid once per process, not once
+// per shard.
+//
+// The caller is responsible for decoding and attaching the diff's
+// guest payload (uc.DecodePayload); this package cannot, as the
+// payload type lives above it.
+func Materialize(diff *ImportedDiff, st *mem.Store) (*Snapshot, error) {
+	if diff.Header.BaseName != "" {
+		return nil, fmt.Errorf("%w: materialize of non-root diff %q (base %q); graft it instead",
+			ErrCodec, diff.Header.Name, diff.Header.BaseName)
+	}
+	space, err := pagetable.New(st)
+	if err != nil {
+		return nil, fmt.Errorf("%w: materialize: %v", ErrCodec, err)
+	}
+	for _, va := range diff.PageVAs {
+		if content, ok := diff.Contents[va]; ok {
+			err = space.Store(va, content)
+		} else {
+			err = space.Touch(va)
+		}
+		if err != nil {
+			space.Release()
+			return nil, fmt.Errorf("%w: materialize page %#x: %v", ErrCodec, va, err)
+		}
+	}
+	snap, err := Capture(diff.Header.Name, nil, space, diff.Header.Regs)
+	if err != nil {
+		space.Release()
+		return nil, err
+	}
+	// The staging space served its purpose; the snapshot holds its own
+	// references now.
+	space.Release()
+	return snap, nil
+}
+
 // Graft applies an imported diff on top of a local base snapshot,
 // producing a new snapshot equivalent to the exported one (same name,
 // registers, and page contents) but backed by local frames. The base's

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -49,7 +50,14 @@ type Event struct {
 
 // Tracer accumulates events. A nil *Tracer is valid and records
 // nothing, so instrumented code needs no conditionals.
+//
+// A Tracer is safe for concurrent use: the shards of a node pool run on
+// independent goroutines and may share one tracer, so recording and
+// reading are serialized by an internal mutex. Event timestamps are
+// whatever virtual clock the recorder read — in a pool, events from
+// different shards interleave on their own per-shard clocks.
 type Tracer struct {
+	mu     sync.Mutex
 	events []Event
 	max    int
 }
@@ -62,6 +70,8 @@ func (t *Tracer) Record(ev Event) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.max > 0 && len(t.events) >= t.max {
 		return
 	}
@@ -78,6 +88,8 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
 	return out
@@ -88,6 +100,8 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.events)
 }
 

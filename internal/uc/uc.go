@@ -21,6 +21,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"seuss/internal/costs"
 	"seuss/internal/hypercall"
@@ -106,7 +107,10 @@ func (u *UC) freeMeta(st *mem.Store) {
 	u.meta = nil
 }
 
-var nextID uint64
+// nextID is process-global so UC identifiers stay unique across the
+// shards of a node pool; shards deploy UCs concurrently from their own
+// goroutines, hence the atomic.
+var nextID atomic.Uint64
 
 // BootFresh builds a UC from nothing with the default (Node.js)
 // interpreter profile. See BootFreshProfile.
@@ -123,9 +127,8 @@ func BootFreshProfile(st *mem.Store, host hypercall.Host, env libos.Env, prof in
 	if err != nil {
 		return nil, fmt.Errorf("uc: boot: %w", err)
 	}
-	nextID++
 	u := &UC{
-		id:    nextID,
+		id:    nextID.Add(1),
 		space: space,
 		env:   env,
 		host:  hypercall.NewCounter(hostOrStub(host), costs.Hypercall, env.ChargeCPU),
@@ -170,9 +173,8 @@ func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, e
 		snap.ReleaseUC()
 		return nil, fmt.Errorf("uc: snapshot %q has no guest payload", snap.Name())
 	}
-	nextID++
 	u := &UC{
-		id:    nextID,
+		id:    nextID.Add(1),
 		space: space,
 		from:  snap,
 		env:   env,

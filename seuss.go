@@ -33,6 +33,7 @@ import (
 	"seuss/internal/core"
 	"seuss/internal/faas"
 	"seuss/internal/metrics"
+	"seuss/internal/shardpool"
 	"seuss/internal/sim"
 	"seuss/internal/trace"
 	"seuss/internal/workload"
@@ -202,6 +203,132 @@ func (n *Node) Stats() NodeStats {
 // ablations).
 func (n *Node) Core() *core.Node { return n.node }
 
+// ---- Sharded node pool ----
+
+// PoolConfig parameterizes a sharded node pool.
+type PoolConfig struct {
+	// Shards is the shard count (default: the host's CPU count).
+	Shards int
+	// Node configures every shard identically; MemoryBytes is the
+	// pool-wide budget, divided evenly across shards.
+	Node NodeConfig
+	// DisableWorkStealing pins each function to its hash-owner shard
+	// (exactly reproducible per-shard sequences, no overflow path).
+	DisableWorkStealing bool
+}
+
+// NodePool is a shared-nothing pool of compute shards behind one front
+// door. Each shard is an independent (engine, memory store, node)
+// triple hydrated from a single encoded base-runtime snapshot, owned by
+// its own goroutine — so InvokeSync is safe to call from any number of
+// goroutines concurrently, and a multicore host actually runs
+// multicore. Requests route to shards by function-key hash (preserving
+// hot/warm locality); a backed-up shard's requests overflow to a steal
+// queue any idle shard may serve.
+//
+// Unlike Node, a NodePool is not bound to a Simulation: each shard owns
+// a private virtual clock, and reported latencies are per-shard virtual
+// time. Per-shard execution is deterministic; cross-shard ordering is
+// not.
+type NodePool struct {
+	pool *shardpool.Pool
+}
+
+// NewNodePool hydrates and starts a pool. Call Close when done.
+func NewNodePool(cfg PoolConfig) (*NodePool, error) {
+	p, err := shardpool.New(shardpool.Config{
+		Shards:              cfg.Shards,
+		Node:                cfg.Node,
+		DisableWorkStealing: cfg.DisableWorkStealing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &NodePool{pool: p}, nil
+}
+
+// PoolInvocation is one pool invocation's outcome.
+type PoolInvocation struct {
+	Invocation
+	// Shard identifies the serving shard.
+	Shard int
+	// Stolen reports the request overflowed its owner shard.
+	Stolen bool
+}
+
+// InvokeSync services one invocation. Safe for concurrent use.
+func (p *NodePool) InvokeSync(key, source, args string) (PoolInvocation, error) {
+	res, err := p.pool.InvokeSync(key, source, args)
+	if err != nil {
+		return PoolInvocation{}, err
+	}
+	return PoolInvocation{
+		Invocation: Invocation{Path: res.Path.String(), Output: res.Output, Latency: res.Latency},
+		Shard:      res.Shard,
+		Stolen:     res.Stolen,
+	}, nil
+}
+
+// InvokeRuntime services one invocation on a named interpreter runtime
+// ("" = the pool's default). Safe for concurrent use.
+func (p *NodePool) InvokeRuntime(runtime, key, source, args string) (PoolInvocation, error) {
+	res, err := p.pool.Invoke(core.Request{Key: key, Source: source, Args: args, Runtime: runtime})
+	if err != nil {
+		return PoolInvocation{}, err
+	}
+	return PoolInvocation{
+		Invocation: Invocation{Path: res.Path.String(), Output: res.Output, Latency: res.Latency},
+		Shard:      res.Shard,
+		Stolen:     res.Stolen,
+	}, nil
+}
+
+// PoolStats aggregates node counters across every shard; each shard's
+// contribution is snapshotted inside its owning goroutine, never
+// mid-invocation.
+type PoolStats struct {
+	NodeStats
+	// Stolen counts requests served off their owner shard.
+	Stolen int64
+	// Shards is the per-shard breakdown.
+	Shards []ShardStats
+}
+
+// ShardStats is one shard's consistent snapshot.
+type ShardStats = shardpool.ShardStats
+
+// Stats aggregates counters across the pool.
+func (p *NodePool) Stats() (PoolStats, error) {
+	st, err := p.pool.Stats()
+	if err != nil {
+		return PoolStats{}, err
+	}
+	return PoolStats{
+		NodeStats: NodeStats{
+			Cold: st.Node.Cold, Warm: st.Node.Warm, Hot: st.Node.Hot,
+			Errors:            st.Node.Errors,
+			UCsDeployed:       st.Node.UCsDeployed,
+			UCsReclaimed:      st.Node.UCsReclaimed,
+			SnapshotsCaptured: st.Node.SnapshotsCaptured,
+			SnapshotsEvicted:  st.Node.SnapshotsEvicted,
+			CachedSnapshots:   st.CachedSnapshots,
+			IdleUCs:           st.IdleUCs,
+			MemoryUsedBytes:   st.MemoryUsedBytes,
+		},
+		Stolen: st.Stolen,
+		Shards: st.Shards,
+	}, nil
+}
+
+// Shards returns the shard count.
+func (p *NodePool) Shards() int { return p.pool.Shards() }
+
+// Pool exposes the underlying shard pool for advanced use.
+func (p *NodePool) Pool() *shardpool.Pool { return p.pool }
+
+// Close stops the shard goroutines; quiesce callers first.
+func (p *NodePool) Close() { p.pool.Close() }
+
 // ---- Platform (OpenWhisk-like cluster) ----
 
 // Cluster is the full FaaS platform: control plane plus one compute
@@ -218,6 +345,14 @@ func (s *Simulation) NewSeussCluster(cfg NodeConfig) (*Cluster, error) {
 		return nil, err
 	}
 	return &Cluster{sim: s, cluster: faas.NewCluster(s.eng, faas.NewSeussBackend(n))}, nil
+}
+
+// NewSeussPoolCluster assembles the platform over a sharded node pool:
+// the same control plane and shim front door, but compute fans out
+// across shared-nothing shards. The caller owns the pool (and its
+// Close); see NodePool for the determinism contract at the boundary.
+func (s *Simulation) NewSeussPoolCluster(pool *NodePool) *Cluster {
+	return &Cluster{sim: s, cluster: faas.NewCluster(s.eng, faas.NewSeussPoolBackend(s.eng, pool.pool))}
 }
 
 // LinuxConfig parameterizes the stock OpenWhisk Linux backend.

@@ -291,3 +291,66 @@ func TestNodeInvokeRuntimeUnknown(t *testing.T) {
 		t.Error("unknown runtime accepted through facade")
 	}
 }
+
+func TestNodePoolFacade(t *testing.T) {
+	pool, err := NewNodePool(PoolConfig{Shards: 2, Node: NodeDefaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Shards() != 2 {
+		t.Fatalf("shards = %d", pool.Shards())
+	}
+	inv, err := pool.InvokeSync("p/hello",
+		`function main(args) { return {msg: "hi " + args.who}; }`,
+		`{"who": "pool"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Path != "cold" {
+		t.Errorf("path = %q", inv.Path)
+	}
+	if !strings.Contains(inv.Output, `"msg":"hi pool"`) {
+		t.Errorf("output = %q", inv.Output)
+	}
+	inv2, err := pool.InvokeSync("p/hello",
+		`function main(args) { return {msg: "hi " + args.who}; }`,
+		`{"who": "pool"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.Path != "hot" || inv2.Shard != inv.Shard {
+		t.Errorf("second invocation: path = %q, shard %d -> %d", inv2.Path, inv.Shard, inv2.Shard)
+	}
+	st, err := pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cold != 1 || st.Hot != 1 {
+		t.Errorf("stats cold=%d hot=%d", st.Cold, st.Hot)
+	}
+	if len(st.Shards) != 2 {
+		t.Errorf("per-shard breakdown has %d entries", len(st.Shards))
+	}
+}
+
+func TestSeussPoolClusterFacade(t *testing.T) {
+	s := New()
+	pool, err := NewNodePool(PoolConfig{Shards: 2, Node: NodeDefaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	c := s.NewSeussPoolCluster(pool)
+	if c.Backend() != "seuss-pool" {
+		t.Errorf("backend = %q", c.Backend())
+	}
+	var invErr error
+	s.Spawn("client", func(task *Task) {
+		invErr = c.Invoke(task, NOP(1), `{}`)
+	})
+	s.Run()
+	if invErr != nil {
+		t.Error(invErr)
+	}
+}
