@@ -3,6 +3,7 @@
 // platform, not only an experiment harness.
 //
 //	seuss-node [-addr :8080] [-shards N] [-no-ao] [-no-steal]
+//	           [-deadline 0] [-fault-seed 0] [-fault-rate 0]
 //
 // The node is a sharded pool: N shared-nothing compute shards (default:
 // one per CPU), each hydrated from a single encoded base-runtime
@@ -22,16 +23,34 @@
 // The response carries the driver's output plus the path taken (cold,
 // warm, hot), the serving shard, and the shard-side virtual latency.
 // GET /stats reports pool-aggregated caches and counters (each shard's
-// contribution snapshotted between invocations, never mid-flight);
-// GET /healthz liveness. Errors are JSON on every endpoint.
+// contribution snapshotted between invocations, never mid-flight),
+// including the robustness ledger — retries, breaker trips, UC
+// crashes, pressure degradations. GET /healthz reports liveness plus
+// every shard's circuit-breaker state ("ok" when all breakers are
+// closed, "degraded" otherwise). Errors are JSON on every endpoint.
+//
+// The server shuts down gracefully: SIGINT/SIGTERM stop the listener,
+// drain in-flight invocations (bounded by a 30 s grace period), and
+// only then stop the shard goroutines. Read/write/idle timeouts bound
+// every connection so a stuck client cannot pin a handler forever.
+//
+// -fault-seed and -fault-rate enable the deterministic fault injector
+// on every shard (see internal/fault): the same seed replays the same
+// fault sequence, which is how the CI fault matrix exercises the
+// containment machinery against real HTTP traffic.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"seuss"
@@ -136,6 +155,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"memory_used_mb":   float64(ss.Mem.BytesInUse) / 1e6,
 		})
 	}
+	rob := st.Robustness
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"shards":             s.pool.Shards(),
 		"cold":               st.Cold,
@@ -151,14 +171,42 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"snapshots_evicted":  st.SnapshotsEvicted,
 		"memory_used_mb":     float64(st.MemoryUsedBytes) / 1e6,
 		"per_shard":          shards,
+		"breakers":           st.Breakers,
+		"robustness": map[string]int64{
+			"retries":                     rob.Retries,
+			"breaker_trips":               rob.BreakerTrips,
+			"rerouted":                    rob.Rerouted,
+			"requeued":                    st.Requeued,
+			"stalls":                      st.Stalls,
+			"uc_crashes":                  rob.UCCrashes,
+			"deadlines_exceeded":          rob.DeadlinesExceeded,
+			"pressure_idle_reclaims":      rob.PressureIdleReclaims,
+			"pressure_snapshot_evictions": rob.PressureSnapshotEvictions,
+			"pressure_cold_fallbacks":     rob.PressureColdFallbacks,
+			"faults_injected":             rob.FaultsInjected,
+		},
 	})
 }
 
+// handleHealthz reports liveness plus each shard's circuit-breaker
+// state. The status degrades (but the endpoint still answers 200 —
+// the node IS alive and re-routing) when any breaker is not closed.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	breakers := s.pool.Pool().BreakerStates()
+	status := "ok"
+	for _, b := range breakers {
+		if b != "closed" && b != "disabled" {
+			status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":   status,
+		"breakers": breakers,
+	})
 }
 
 // handleTrace serves the pool's event timeline in Chrome trace-event
@@ -188,19 +236,29 @@ func (s *server) mux() *http.ServeMux {
 	return m
 }
 
+// drainTimeout bounds graceful shutdown: in-flight invocations get
+// this long to finish before the server gives up on stragglers.
+const drainTimeout = 30 * time.Second
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shards := flag.Int("shards", runtime.NumCPU(), "compute shard count")
 	noAO := flag.Bool("no-ao", false, "disable anticipatory optimizations")
 	noSteal := flag.Bool("no-steal", false, "disable work stealing (pin keys to owner shards)")
+	deadline := flag.Duration("deadline", 0, "per-invocation deadline (virtual time; 0 = unlimited)")
+	faultSeed := flag.Int64("fault-seed", 0, "deterministic fault-injection seed")
+	faultRate := flag.Float64("fault-rate", 0, "fault-point firing probability (0 disables injection)")
 	flag.Parse()
 
 	cfg := seuss.PoolConfig{
 		Shards:              *shards,
 		Node:                seuss.NodeDefaults(),
 		DisableWorkStealing: *noSteal,
+		FaultSeed:           *faultSeed,
+		FaultRate:           *faultRate,
 	}
 	cfg.Node.DisableAO = *noAO
+	cfg.Node.InvokeDeadline = *deadline
 	cfg.Node.Tracer = seuss.NewTrace(100000)
 	start := time.Now()
 	pool, err := seuss.NewNodePool(cfg)
@@ -209,8 +267,39 @@ func main() {
 	}
 	log.Printf("pool booted in %v: %d shards hydrated from one runtime snapshot (AO=%v)",
 		time.Since(start), pool.Shards(), !*noAO)
+	if *faultRate > 0 {
+		log.Printf("fault injection armed: seed=%d rate=%g", *faultSeed, *faultRate)
+	}
 
 	s := &server{pool: pool, tracer: cfg.Node.Tracer}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	// SIGINT/SIGTERM: stop accepting, drain in-flight invocations, then
+	// stop the shard goroutines — requests in flight complete, requests
+	// after the signal are refused at the listener.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutdown signal; draining in-flight invocations (up to %v)", drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("seuss-node: drain: %v", err)
+		}
+	}()
+
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("seuss-node: serve: %v", err)
+	}
+	pool.Close()
+	log.Printf("drained and closed; goodbye")
 }

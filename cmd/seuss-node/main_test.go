@@ -75,12 +75,23 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("status = %d", resp.StatusCode)
 	}
-	var body map[string]string
+	var body struct {
+		Status   string   `json:"status"`
+		Breakers []string `json:"breakers"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if body["status"] != "ok" {
-		t.Errorf("body = %v", body)
+	if body.Status != "ok" {
+		t.Errorf("status = %q", body.Status)
+	}
+	if len(body.Breakers) != 2 {
+		t.Fatalf("breakers = %v, want one per shard", body.Breakers)
+	}
+	for i, b := range body.Breakers {
+		if b != "closed" {
+			t.Errorf("shard %d breaker = %q, want closed", i, b)
+		}
 	}
 }
 
@@ -298,4 +309,58 @@ func TestTraceEndpointDisabled(t *testing.T) {
 		t.Errorf("status = %d", resp.StatusCode)
 	}
 	errorBody(t, resp)
+}
+
+// TestStatsRobustnessLedger: a fault-armed server keeps serving (or
+// failing contained) and exports the injection/containment counters
+// plus per-shard breaker states through /stats.
+func TestStatsRobustnessLedger(t *testing.T) {
+	pool, err := seuss.NewNodePool(seuss.PoolConfig{
+		Shards:    2,
+		Node:      seuss.NodeDefaults(),
+		FaultSeed: 1,
+		FaultRate: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	ts := httptest.NewServer((&server{pool: pool}).mux())
+	t.Cleanup(ts.Close)
+
+	body := `{"key": "alice/fn", "source": "function main(args) { return {ok: true}; }"}`
+	for i := 0; i < 30; i++ {
+		resp, err := http.Post(ts.URL+"/invoke", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 200 (served) or 422 (contained fault surfaced) — never a
+		// 5xx, never a hang.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("invoke %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Breakers   []string         `json:"breakers"`
+		Robustness map[string]int64 `json:"robustness"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Breakers) != 2 {
+		t.Errorf("breakers = %v", st.Breakers)
+	}
+	if st.Robustness["faults_injected"] == 0 {
+		t.Error("rate 0.25 over 30 requests injected nothing")
+	}
+	if _, ok := st.Robustness["uc_crashes"]; !ok {
+		t.Errorf("robustness ledger missing uc_crashes: %v", st.Robustness)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"seuss/internal/core"
+	"seuss/internal/fault"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
 )
@@ -62,6 +63,20 @@ type Config struct {
 	LinkBandwidth float64 // bytes/second
 	// LinkRTT is the inter-node round trip (default 150 µs).
 	LinkRTT time.Duration
+	// MaxRetries is the retry budget for contained faults: after a
+	// member fails an invocation with a contained error, the cluster
+	// re-picks a member and retries up to MaxRetries times (default 0 =
+	// fail fast). Uncontained errors are never retried.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 1 ms).
+	RetryBackoff time.Duration
+	// Faults configures deterministic fault injection. The cluster
+	// keeps the base injector for fabric-level points (snapshot
+	// corruption mid-migrate); each member node derives a private child
+	// injector for node-level points (UC crashes), unless NodeConfig
+	// already carries one.
+	Faults fault.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LinkRTT == 0 {
 		c.LinkRTT = 150 * time.Microsecond
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = time.Millisecond
 	}
 	return c
 }
@@ -89,6 +107,12 @@ type Stats struct {
 	MigratedBytes int64
 	// ClusterColds are first-in-cluster cold paths.
 	ClusterColds int64
+	// Retries counts re-picked invocations after contained faults.
+	Retries int64
+	// FailedMigrations counts diff transfers abandoned mid-flight
+	// (export, decode — including injected corruption — or graft
+	// failure); each fell back to serving from the holder.
+	FailedMigrations int64
 }
 
 // Member is one compute node in the cluster.
@@ -110,6 +134,8 @@ type Cluster struct {
 	migrating map[string]bool
 	cursor    int // round-robin tie-breaker for the balancer
 	stats     Stats
+	// faults is the fabric-level injector (nil when disabled).
+	faults *fault.Injector
 }
 
 // New boots n identical nodes and links them.
@@ -123,6 +149,7 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		cfg:       cfg,
 		directory: make(map[string][]int),
 		migrating: make(map[string]bool),
+		faults:    fault.New(cfg.Faults),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		nc := cfg.NodeConfig
@@ -130,6 +157,11 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 			nc = core.DefaultConfig()
 		}
 		nc.Seed = nc.Seed + int64(i)
+		if nc.Faults == nil {
+			// Child(i+1) keeps member injectors distinct from the
+			// cluster's own (Child(0) would alias the base seed).
+			nc.Faults = fault.New(cfg.Faults.Child(i + 1))
+		}
 		node, err := core.NewNode(eng, nc)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
@@ -194,20 +226,33 @@ func (c *Cluster) register(key string, id int) {
 }
 
 // Invoke services one invocation somewhere in the cluster and returns
-// the result plus the serving node's ID.
+// the result plus the serving node's ID. A contained fault (UC crash,
+// deadline kill, shard stall — anything the fault taxonomy marks
+// retryable) consumes the retry budget: the cluster backs off,
+// re-picks a member, and tries again, so a crashed UC is redeployed
+// from its immutable snapshot rather than surfacing to the caller.
+// Uncontained (deterministic) failures fail fast.
 func (c *Cluster) Invoke(p *sim.Proc, req core.Request) (core.Result, int, error) {
 	if len(c.members) == 0 {
 		return core.Result{}, -1, ErrNoNodes
 	}
-	target := c.pick(p, req)
-	target.inflight++
-	res, err := target.Node.Invoke(p, req)
-	target.inflight--
-	if err != nil {
-		return core.Result{}, target.ID, err
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		target := c.pick(p, req)
+		target.inflight++
+		res, err := target.Node.Invoke(p, req)
+		target.inflight--
+		if err == nil {
+			c.register(req.Key, target.ID)
+			return res, target.ID, nil
+		}
+		if attempt >= c.cfg.MaxRetries || !fault.IsContained(err) {
+			return core.Result{}, target.ID, err
+		}
+		c.stats.Retries++
+		p.Sleep(backoff)
+		backoff *= 2
 	}
-	c.register(req.Key, target.ID)
-	return res, target.ID, nil
 }
 
 // pick chooses (and, under PolicyMigrate, prepares) the serving node.
@@ -245,14 +290,25 @@ func (c *Cluster) pick(p *sim.Proc, req core.Request) *Member {
 }
 
 // migrate ships the holder's snapshot diff to dst over the fabric and
-// grafts it. On any failure the holder serves the request instead.
+// grafts it. On any failure — including an injected wire corruption
+// that the decoder rejects — the transfer is abandoned and the holder
+// serves the request instead: migration failure degrades to routing,
+// never to a failed invocation.
 func (c *Cluster) migrate(p *sim.Proc, holder, dst *Member, key string) *Member {
 	var wire bytes.Buffer
 	if err := holder.Node.ExportSnapshot(key, &wire); err != nil {
+		c.stats.FailedMigrations++
 		return holder
+	}
+	// Fault point: the diff is corrupted in flight. Truncating the wire
+	// image makes the codec's decode fail, exercising the same path a
+	// checksum mismatch would take on real hardware.
+	if c.faults.Fire(fault.PointSnapshotCorrupt) {
+		wire.Truncate(wire.Len() / 2)
 	}
 	diff, err := snapshot.Import(&wire)
 	if err != nil {
+		c.stats.FailedMigrations++
 		return holder
 	}
 	// Ship the logical page volume: unmaterialized pages travel as one
@@ -260,6 +316,7 @@ func (c *Cluster) migrate(p *sim.Proc, holder, dst *Member, key string) *Member 
 	n := diff.LogicalBytes()
 	p.Sleep(c.transferTime(n))
 	if err := dst.Node.AdoptDiff(p, key, diff); err != nil {
+		c.stats.FailedMigrations++
 		return holder
 	}
 	c.stats.Migrations++

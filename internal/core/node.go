@@ -22,6 +22,14 @@
 // OOM policy — idle UCs are reclaimed as soon as available physical
 // memory drops below a threshold; function snapshots with no active
 // UCs are evicted LRU when the snapshot cache itself must shrink.
+//
+// Failure model (§4): faults are contained to the UC. A UC that
+// crashes, exhausts its invocation deadline, or errors mid-run is
+// destroyed — never returned to the idle cache, where its dirty
+// interpreter state would poison later warm hits — and its immutable
+// snapshot redeploys a fresh context on retry. Under memory pressure
+// the node degrades in stages (reclaim idle UCs → evict coldest
+// function snapshots → serve the request cold) instead of failing it.
 package core
 
 import (
@@ -30,8 +38,10 @@ import (
 	"time"
 
 	"seuss/internal/costs"
+	"seuss/internal/fault"
 	"seuss/internal/hypercall"
 	"seuss/internal/interp"
+	"seuss/internal/lang"
 	"seuss/internal/libos"
 	"seuss/internal/mem"
 	"seuss/internal/netsim"
@@ -57,8 +67,18 @@ var pathNames = [...]string{"cold", "warm", "hot"}
 func (p Path) String() string { return pathNames[p] }
 
 // ErrNodeSaturated is returned when an invocation cannot obtain memory
-// even after reclaiming every idle resource.
+// even after the full degradation ladder (idle reclaim, snapshot
+// eviction, cold fallback). Contained: memory may free up; retry.
 var ErrNodeSaturated = errors.New("core: node memory saturated")
+
+// ErrUCCrashed is returned when a UC dies mid-invocation (injected or
+// real). The UC is destroyed; the function's snapshot is untouched, so
+// a retry deploys a fresh context — the §4 containment guarantee.
+var ErrUCCrashed = errors.New("core: uc crashed mid-invocation")
+
+// ErrDeadlineExceeded is returned when an invocation exhausts its
+// deadline's interpreter-step budget. The runaway UC is destroyed.
+var ErrDeadlineExceeded = errors.New("core: invocation deadline exceeded")
 
 // Config parameterizes a Node.
 type Config struct {
@@ -92,6 +112,16 @@ type Config struct {
 	// system initialization (default: nodejs only). The first entry is
 	// the default runtime for requests that name none.
 	Runtimes []string
+	// InvokeDeadline bounds each invocation's guest execution; it is
+	// converted to an interpreter step budget (deadline / StepTime) and
+	// a UC that exhausts it is destroyed, not recycled. Per-request
+	// deadlines (Request.Deadline) override it. 0 = the interpreter's
+	// default lifetime budget only.
+	InvokeDeadline time.Duration
+	// Faults injects deterministic failures at the node's registered
+	// fault points (see internal/fault). nil disables injection with
+	// zero overhead on the serving path.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +166,39 @@ type Stats struct {
 	UCsReclaimed      int64 // idle UCs destroyed by the OOM policy
 	SnapshotsCaptured int64
 	SnapshotsEvicted  int64
+	// UCCrashes counts UCs destroyed after a contained mid-invocation
+	// fault (crash, deadline, guest error) instead of being recycled.
+	UCCrashes int64
+	// DeadlinesExceeded counts invocations killed by their step-budget
+	// deadline (a subset of UCCrashes).
+	DeadlinesExceeded int64
+	// The degradation ladder under memory pressure:
+	// level 1 — idle UCs reclaimed to make a deploy fit;
+	// level 2 — cold function snapshots evicted to make a deploy fit;
+	// level 3 — warm deploys abandoned and served cold instead.
+	PressureIdleReclaims      int64
+	PressureSnapshotEvictions int64
+	PressureColdFallbacks     int64
+	// FaultsInjected counts fault points that fired on this node.
+	FaultsInjected int64
+}
+
+// Add accumulates o into s (pool/cluster aggregation).
+func (s *Stats) Add(o Stats) {
+	s.Cold += o.Cold
+	s.Warm += o.Warm
+	s.Hot += o.Hot
+	s.Errors += o.Errors
+	s.UCsDeployed += o.UCsDeployed
+	s.UCsReclaimed += o.UCsReclaimed
+	s.SnapshotsCaptured += o.SnapshotsCaptured
+	s.SnapshotsEvicted += o.SnapshotsEvicted
+	s.UCCrashes += o.UCCrashes
+	s.DeadlinesExceeded += o.DeadlinesExceeded
+	s.PressureIdleReclaims += o.PressureIdleReclaims
+	s.PressureSnapshotEvictions += o.PressureSnapshotEvictions
+	s.PressureColdFallbacks += o.PressureColdFallbacks
+	s.FaultsInjected += o.FaultsInjected
 }
 
 // managedUC pairs a UC with its host environment so later operations
@@ -381,6 +444,12 @@ func (e *env) HTTPGet(url string) (string, error) {
 		return "", err
 	}
 	defer e.n.proxy.Unmap(port)
+	// Fault point: the proxy drops the outbound packet. The flow is
+	// absorbed, not failed — one retransmit timeout, then it proceeds.
+	if e.n.cfg.Faults.Fire(fault.PointProxyDrop) {
+		e.n.stats.FaultsInjected = faultsInjected(e.n.cfg.Faults)
+		e.p.Sleep(costs.ExternalHTTPLatency)
+	}
 	e.p.Sleep(costs.ExternalHTTPLatency)
 	body, delay, err := e.n.cfg.HTTPHandler(url)
 	if err != nil {
@@ -407,6 +476,10 @@ type Request struct {
 	Args string
 	// Runtime names the interpreter to run on ("" = the node's default).
 	Runtime string
+	// Deadline bounds this invocation's guest execution (0 = the
+	// node's configured InvokeDeadline, if any). Exhausting it destroys
+	// the UC and returns a contained ErrDeadlineExceeded.
+	Deadline time.Duration
 }
 
 // Result is the node's reply.
@@ -435,17 +508,29 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 	if entry, ok := n.fnSnaps[req.Key]; ok {
 		entry.last = n.eng.Now()
 		mu, err := n.deploy(p, entry.snap)
-		if err != nil {
+		if err == nil {
+			if cerr := mu.u.Guest().Connect(); cerr != nil {
+				n.destroyUC(mu)
+				n.stats.Errors++
+				return Result{}, cerr
+			}
+			out, rerr := n.runOn(p, mu, req)
+			return n.finish(start, PathWarm, out, rerr)
+		}
+		if !errors.Is(err, ErrNodeSaturated) || req.Source == "" {
 			n.stats.Errors++
 			return Result{}, err
 		}
-		if err := mu.u.Guest().Connect(); err != nil {
-			n.destroyUC(mu)
-			n.stats.Errors++
-			return Result{}, err
-		}
-		out, err := n.runOn(p, mu, req)
-		return n.finish(start, PathWarm, out, err)
+		// Degradation ladder, level 3: the warm deploy cannot fit even
+		// after reclaim and eviction. Drop this function's snapshot
+		// (freeing its diff pages) and serve the request cold from the
+		// much-shared base runtime image instead of failing it.
+		n.dropSnapshot(p, req.Key)
+		n.stats.PressureColdFallbacks++
+		n.cfg.Tracer.Record(trace.Event{
+			At: time.Duration(n.eng.Now()), Kind: trace.KindFault, Key: req.Key,
+			Detail: "pressure: warm deploy saturated; serving cold",
+		})
 	}
 
 	// Cold path: deploy from the runtime snapshot, import and compile,
@@ -497,24 +582,30 @@ func (n *Node) finish(start sim.Time, path Path, out string, err error) (Result,
 	}, nil
 }
 
-// deploy creates a UC from a snapshot, reclaiming idle UCs on memory
-// pressure and retrying once.
+// deploy creates a UC from a snapshot. On memory pressure it walks the
+// degradation ladder instead of failing outright: reclaim idle UCs one
+// at a time (level 1, LRU-first — they redeploy cheaply from their
+// snapshots), then evict the coldest function snapshots (level 2 —
+// future warm starts are lost, nothing else). Only when both levels
+// are exhausted does it report saturation (level 3, the cold
+// fallback, belongs to Invoke, which knows the request).
 func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot) (*managedUC, error) {
 	e := &env{n: n, p: p}
 	host := &ucNetHost{Host: hypercall.NewStubHost(), n: n, port: new(int)}
 	u, err := uc.Deploy(snap, host, e)
-	if err != nil {
-		if !errors.Is(err, mem.ErrOutOfMemory) {
-			return nil, err
-		}
-		n.reclaimAll(p)
+	for errors.Is(err, mem.ErrOutOfMemory) && n.reclaimOneIdle(p) {
+		n.stats.PressureIdleReclaims++
 		u, err = uc.Deploy(snap, host, e)
-		if err != nil {
-			if errors.Is(err, mem.ErrOutOfMemory) {
-				return nil, ErrNodeSaturated
-			}
-			return nil, err
+	}
+	for errors.Is(err, mem.ErrOutOfMemory) && n.evictOneSnapshot(p) {
+		n.stats.PressureSnapshotEvictions++
+		u, err = uc.Deploy(snap, host, e)
+	}
+	if err != nil {
+		if errors.Is(err, mem.ErrOutOfMemory) {
+			return nil, fault.Contain(ErrNodeSaturated)
 		}
+		return nil, err
 	}
 	n.stats.UCsDeployed++
 	mu := &managedUC{u: u, e: e, core: n.nextCore % n.cfg.Cores}
@@ -580,17 +671,65 @@ func (n *Node) captureFnSnapshot(p *sim.Proc, u *uc.UC, key string) {
 
 // runOn performs the shared invocation tail on a ready UC and caches it
 // as idle afterwards.
+//
+// Containment invariant: a UC whose invocation returned an error — a
+// crash, a deadline kill, a guest fault — is destroyed here, NEVER
+// returned to the idle cache. Its interpreter state is dirty (half-run
+// function, exhausted step budget) and would poison later warm hits;
+// the function's immutable snapshot is what retries redeploy from.
 func (n *Node) runOn(p *sim.Proc, mu *managedUC, req Request) (string, error) {
 	mu.e.bind(p)
 	mu.u.SetRunning()
+
+	// Thread the invocation deadline into the interpreter's step
+	// budget. With no deadline the default lifetime budget is restored,
+	// so a prior deadlined run on this UC leaves no residue.
+	deadline := req.Deadline
+	if deadline == 0 {
+		deadline = n.cfg.InvokeDeadline
+	}
+	if deadline > 0 {
+		steps := int64(deadline / costs.StepTime)
+		if steps < 1 {
+			steps = 1
+		}
+		mu.u.Guest().LimitSteps(steps)
+	} else {
+		mu.u.Guest().LimitSteps(lang.DefaultStepBudget)
+	}
+
+	// Fault point: the UC crashes mid-invocation. Containment per §4 —
+	// discard the context, keep the snapshot.
+	if n.cfg.Faults.Fire(fault.PointUCCrash) {
+		n.containFault(mu, req.Key, "injected uc crash")
+		return "", fault.Contain(ErrUCCrashed)
+	}
+
 	out, err := mu.u.Guest().Invoke(req.Args)
 	if err != nil {
-		n.destroyUC(mu)
-		return "", err
+		n.containFault(mu, req.Key, err.Error())
+		if errors.Is(err, lang.ErrTooManySteps) && deadline > 0 {
+			n.stats.DeadlinesExceeded++
+			return "", fault.Contain(fmt.Errorf("%w after %v: %w", ErrDeadlineExceeded, deadline, err))
+		}
+		return "", fault.Contain(fmt.Errorf("%w: %v", ErrUCCrashed, err))
 	}
 	n.putIdle(req.Key, mu)
 	return out, nil
 }
+
+// containFault destroys a faulted UC and records the containment.
+func (n *Node) containFault(mu *managedUC, key, detail string) {
+	n.destroyUC(mu)
+	n.stats.UCCrashes++
+	n.stats.FaultsInjected = faultsInjected(n.cfg.Faults)
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(n.eng.Now()), Kind: trace.KindFault, Key: key, Detail: detail,
+	})
+}
+
+// faultsInjected mirrors the injector's fired count into Stats.
+func faultsInjected(in *fault.Injector) int64 { return int64(in.TotalFired()) }
 
 // takeIdle pops a cached idle UC for the function.
 func (n *Node) takeIdle(key string) *managedUC {
@@ -719,6 +858,37 @@ func (n *Node) evictOneSnapshot(p *sim.Proc) bool {
 	n.stats.SnapshotsEvicted++
 	n.cfg.Tracer.Record(trace.Event{
 		At: time.Duration(n.eng.Now()), Kind: trace.KindEvict, Key: lruKey,
+	})
+	return true
+}
+
+// dropSnapshot force-evicts one function's snapshot (degradation
+// ladder level 3): destroy its idle UCs, then delete the snapshot if
+// nothing live depends on it. Reports whether the snapshot is gone.
+func (n *Node) dropSnapshot(p *sim.Proc, key string) bool {
+	entry, ok := n.fnSnaps[key]
+	if !ok {
+		return false
+	}
+	if list, ok := n.idle[key]; ok {
+		for _, idle := range list {
+			idle.mu.e.bind(p)
+			n.destroyUC(idle.mu)
+			n.idleCount--
+			n.stats.UCsReclaimed++
+		}
+		delete(n.idle, key)
+	}
+	if entry.snap.ActiveUCs() > 0 || entry.snap.Children() > 0 {
+		return false
+	}
+	if err := entry.snap.Delete(); err != nil {
+		return false
+	}
+	delete(n.fnSnaps, key)
+	n.stats.SnapshotsEvicted++
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(n.eng.Now()), Kind: trace.KindEvict, Key: key,
 	})
 	return true
 }

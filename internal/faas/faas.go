@@ -23,6 +23,7 @@ import (
 
 	"seuss/internal/core"
 	"seuss/internal/costs"
+	"seuss/internal/fault"
 	"seuss/internal/isolation"
 	"seuss/internal/netsim"
 	"seuss/internal/shardpool"
@@ -78,6 +79,19 @@ type Backend interface {
 	Name() string
 }
 
+// RetryPolicy bounds the platform's handling of contained compute
+// faults: a crashed UC, a deadline kill, or a stalled shard is
+// re-submitted to the backend after a doubling backoff, up to Max
+// attempts beyond the first. The zero policy retries nothing.
+type RetryPolicy struct {
+	// Max is the retry budget per activation (retries after the first
+	// attempt).
+	Max int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (default 1 ms when Max > 0).
+	Backoff time.Duration
+}
+
 // Cluster is the whole platform: control plane + one compute backend.
 // Requests flow controller → message bus → invoker dispatcher →
 // backend, and completions return on per-request reply queues, exactly
@@ -88,9 +102,14 @@ type Cluster struct {
 	backend  Backend
 	bus      *Bus
 	acts     activations
+	// Retry is the platform's contained-fault retry policy. Set it
+	// before traffic; the dispatcher reads it per activation.
+	Retry RetryPolicy
 	// Requests / Failures count platform-level outcomes.
 	Requests int64
 	Failures int64
+	// Retries counts re-submissions after contained faults.
+	Retries int64
 }
 
 // busRequest is one activation in flight on the bus.
@@ -118,12 +137,36 @@ func NewCluster(eng *sim.Engine, backend Backend) *Cluster {
 			// Each activation is handled concurrently; the backend
 			// applies its own concurrency limits.
 			eng.Go("activation", func(hp *sim.Proc) {
-				err := c.backend.Invoke(hp, r.spec, r.args)
+				err := c.invokeWithRetry(hp, r.spec, r.args)
 				r.reply.Put(err)
 			})
 		}
 	})
 	return c
+}
+
+// invokeWithRetry drives one activation through the backend, spending
+// the retry budget on contained faults only: a crashed UC is
+// redeployed from its immutable snapshot on the retry (SEUSS §4's
+// containment property is what makes blind re-submission safe).
+// Deterministic failures — bad source, uncontained backend errors —
+// surface immediately.
+func (c *Cluster) invokeWithRetry(p *sim.Proc, spec workload.Spec, args string) error {
+	err := c.backend.Invoke(p, spec, args)
+	if err == nil || c.Retry.Max <= 0 {
+		return err
+	}
+	backoff := c.Retry.Backoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	for attempt := 0; attempt < c.Retry.Max && err != nil && fault.IsContained(err); attempt++ {
+		c.Retries++
+		p.Sleep(backoff)
+		backoff *= 2
+		err = c.backend.Invoke(p, spec, args)
+	}
+	return err
 }
 
 // Bus exposes the message service (instrumentation).
@@ -164,6 +207,12 @@ type SeussBackend struct {
 	node *core.Node
 	shim *sim.Resource
 	rng  *sim.RNG
+	// Deadline, when set, bounds every invocation this backend serves:
+	// it is threaded through core.Request into the interpreter's step
+	// budget, so a runaway guest is killed (and its UC destroyed)
+	// instead of wedging the node. Zero defers to the node's own
+	// InvokeDeadline.
+	Deadline time.Duration
 }
 
 // NewSeussBackend wraps a node.
@@ -189,7 +238,9 @@ func (b *SeussBackend) Invoke(p *sim.Proc, spec workload.Spec, args string) erro
 	p.Sleep(b.rng.Jitter(costs.ShimSerialize, 0.08))
 	b.shim.Release()
 	p.Sleep(costs.ShimHop - costs.ShimSerialize)
-	_, err := b.node.Invoke(p, core.Request{Key: spec.Key, Source: spec.Source, Args: args})
+	_, err := b.node.Invoke(p, core.Request{
+		Key: spec.Key, Source: spec.Source, Args: args, Deadline: b.Deadline,
+	})
 	return err
 }
 
@@ -211,6 +262,9 @@ type SeussPoolBackend struct {
 	pool *shardpool.Pool
 	shim *sim.Resource
 	rng  *sim.RNG
+	// Deadline, when set, bounds every invocation (see
+	// SeussBackend.Deadline).
+	Deadline time.Duration
 }
 
 // NewSeussPoolBackend wraps a pool for platform use.
@@ -236,7 +290,9 @@ func (b *SeussPoolBackend) Invoke(p *sim.Proc, spec workload.Spec, args string) 
 	p.Sleep(b.rng.Jitter(costs.ShimSerialize, 0.08))
 	b.shim.Release()
 	p.Sleep(costs.ShimHop - costs.ShimSerialize)
-	res, err := b.pool.Invoke(core.Request{Key: spec.Key, Source: spec.Source, Args: args})
+	res, err := b.pool.Invoke(core.Request{
+		Key: spec.Key, Source: spec.Source, Args: args, Deadline: b.Deadline,
+	})
 	if err != nil {
 		return err
 	}
@@ -595,7 +651,7 @@ func (c *Cluster) InvokeAsync(p *sim.Proc, spec workload.Spec, args string) int6
 	act := &Activation{ID: id, Key: spec.Key, Start: time.Duration(c.eng.Now())}
 	c.acts.byID[id] = act
 	c.eng.Go("activation-async", func(hp *sim.Proc) {
-		err := c.backend.Invoke(hp, spec, args)
+		err := c.invokeWithRetry(hp, spec, args)
 		act.End = time.Duration(c.eng.Now())
 		act.Err = err
 		act.Done = true

@@ -187,6 +187,17 @@ func (r *Runtime) State() State { return r.st }
 // activity (diagnostics).
 func (r *Runtime) GuestAllocs() int64 { return r.allocs }
 
+// LimitSteps bounds the guest's *next* execution to n more interpreter
+// steps (lang.ErrTooManySteps past the cap). This is how invocation
+// deadlines reach the interpreter: deadline / costs.StepTime steps.
+// n <= 0 removes the limit. The budget is relative to steps already
+// consumed, so a long-lived hot UC never exhausts a lifetime budget.
+func (r *Runtime) LimitSteps(n int64) { r.in.LimitSteps(n) }
+
+// Steps returns total interpreter steps consumed over the runtime's
+// lifetime (diagnostics).
+func (r *Runtime) Steps() int64 { return r.in.Steps() }
+
 // InitInterpreter loads the interpreter image into guest memory and
 // boots it — the expensive once-per-interpreter step at system
 // initialization (paid before the runtime snapshot, never on an

@@ -45,6 +45,10 @@ type Interp struct {
 // time limit).
 var ErrTooManySteps = errors.New("minijs: step budget exhausted")
 
+// DefaultStepBudget is the interpreter's lifetime step budget before a
+// caller installs a per-invocation limit (LimitSteps).
+const DefaultStepBudget = 200_000_000
+
 // control-flow sentinels, implemented as error values.
 type breakErr struct{}
 type continueErr struct{}
@@ -67,7 +71,7 @@ func New(hooks Hooks) *Interp {
 	in := &Interp{
 		globals:  NewEnv(nil),
 		hooks:    hooks,
-		maxSteps: 200_000_000,
+		maxSteps: DefaultStepBudget,
 	}
 	in.installBuiltins()
 	return in
@@ -75,6 +79,18 @@ func New(hooks Hooks) *Interp {
 
 // SetMaxSteps overrides the default step budget (0 disables the limit).
 func (in *Interp) SetMaxSteps(n int64) { in.maxSteps = n }
+
+// LimitSteps caps execution at n steps *beyond those already
+// consumed* — the per-invocation deadline form: steps spent by earlier
+// invocations in this interpreter's lifetime do not count against the
+// new budget. n <= 0 removes the limit.
+func (in *Interp) LimitSteps(n int64) {
+	if n <= 0 {
+		in.maxSteps = 0
+		return
+	}
+	in.maxSteps = in.steps + n
+}
 
 // Steps returns the steps consumed so far.
 func (in *Interp) Steps() int64 { return in.steps }

@@ -1,0 +1,83 @@
+// Robustness counters: the failure-containment ledger the node, pool,
+// and platform layers export. Where Summary measures how fast the
+// system is, Robustness measures how it failed — and how often a
+// failure was absorbed (retried, re-routed, degraded) instead of
+// surfaced.
+
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Robustness aggregates fault-handling counters across layers. The
+// zero value is a clean run. Counters are plain int64s: collection
+// points snapshot them inside their owning goroutine, so the struct
+// itself needs no synchronization.
+type Robustness struct {
+	// Retries counts re-submissions after contained faults (platform
+	// and cluster retry budgets).
+	Retries int64
+	// BreakerTrips counts circuit-breaker closed→open transitions.
+	BreakerTrips int64
+	// Rerouted counts requests diverted away from an open breaker.
+	Rerouted int64
+	// UCCrashes counts unikernel contexts destroyed after a fault
+	// (injected crash, guest error, deadline kill).
+	UCCrashes int64
+	// DeadlinesExceeded counts invocations killed by their step-budget
+	// deadline.
+	DeadlinesExceeded int64
+	// PressureIdleReclaims counts level-1 degradations: idle UCs
+	// reclaimed to fit a deploy.
+	PressureIdleReclaims int64
+	// PressureSnapshotEvictions counts level-2 degradations: cold
+	// function snapshots evicted to fit a deploy.
+	PressureSnapshotEvictions int64
+	// PressureColdFallbacks counts level-3 degradations: warm deploys
+	// abandoned, request served cold instead of failed.
+	PressureColdFallbacks int64
+	// FaultsInjected counts fault points fired by the injector.
+	FaultsInjected int64
+}
+
+// Add accumulates another ledger into this one.
+func (r *Robustness) Add(o Robustness) {
+	r.Retries += o.Retries
+	r.BreakerTrips += o.BreakerTrips
+	r.Rerouted += o.Rerouted
+	r.UCCrashes += o.UCCrashes
+	r.DeadlinesExceeded += o.DeadlinesExceeded
+	r.PressureIdleReclaims += o.PressureIdleReclaims
+	r.PressureSnapshotEvictions += o.PressureSnapshotEvictions
+	r.PressureColdFallbacks += o.PressureColdFallbacks
+	r.FaultsInjected += o.FaultsInjected
+}
+
+// Zero reports whether the run was fault-free.
+func (r Robustness) Zero() bool { return r == Robustness{} }
+
+// String renders only the non-zero counters, one compact line — a
+// clean run renders as "no faults".
+func (r Robustness) String() string {
+	var parts []string
+	add := func(name string, v int64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("retries", r.Retries)
+	add("breaker_trips", r.BreakerTrips)
+	add("rerouted", r.Rerouted)
+	add("uc_crashes", r.UCCrashes)
+	add("deadlines", r.DeadlinesExceeded)
+	add("pressure_idle_reclaims", r.PressureIdleReclaims)
+	add("pressure_snapshot_evictions", r.PressureSnapshotEvictions)
+	add("pressure_cold_fallbacks", r.PressureColdFallbacks)
+	add("faults_injected", r.FaultsInjected)
+	if len(parts) == 0 {
+		return "no faults"
+	}
+	return strings.Join(parts, " ")
+}

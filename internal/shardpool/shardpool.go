@@ -33,6 +33,16 @@
 // ordering — which shard's wall-clock work finishes first, how stolen
 // requests interleave — is explicitly NOT part of the deterministic
 // contract.
+//
+// Failure containment: every shard carries a circuit breaker
+// (closed → open → half-open). Consecutive contained faults on a
+// shard open its breaker; while open, the shard's keys divert over
+// the existing work-stealing overflow queue to healthy shards and the
+// sick shard stops stealing, so it drains in place. After a bounded
+// number of diverted requests one probe is let through; success closes
+// the breaker, failure re-opens it. An injected shard stall requeues
+// the request to another shard instead of failing it, so a fault storm
+// degrades to re-routing, not to dropped requests.
 package shardpool
 
 import (
@@ -46,6 +56,7 @@ import (
 	"time"
 
 	"seuss/internal/core"
+	"seuss/internal/fault"
 	"seuss/internal/mem"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
@@ -54,6 +65,12 @@ import (
 
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("shardpool: pool closed")
+
+// ErrShardStalled is returned when a stalled shard cannot re-route a
+// request (stealing disabled, or the requeue budget is exhausted in a
+// pool-wide fault storm). Contained: a retry may land on a healthy
+// shard.
+var ErrShardStalled = errors.New("shardpool: shard stalled")
 
 // Config parameterizes a pool.
 type Config struct {
@@ -71,8 +88,24 @@ type Config struct {
 	StealThreshold int
 	// DisableWorkStealing pins every request to its hash-owner shard.
 	// Skewed keys then serialize on their owner — useful when per-shard
-	// request sequences must be exactly reproducible.
+	// request sequences must be exactly reproducible. Breaker diversion
+	// and stall requeueing also ride the overflow queue, so disabling
+	// stealing disables re-routing too (sick shards then serve their
+	// own keys, and stalls surface as ErrShardStalled).
 	DisableWorkStealing bool
+	// Faults configures deterministic fault injection. Each shard
+	// derives a private injector (Faults.Child(shard)) shared with its
+	// node, so shard-level points (stalls) and node-level points (UC
+	// crashes, proxy drops) land in one per-shard trace. The zero
+	// config injects nothing at zero overhead.
+	Faults fault.Config
+	// BreakerThreshold is the number of consecutive contained failures
+	// that open a shard's circuit breaker (default 3; -1 disables
+	// breakers).
+	BreakerThreshold int
+	// BreakerProbeAfter is how many diverted requests an open breaker
+	// absorbs before letting one probe through half-open (default 4).
+	BreakerProbeAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +117,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StealThreshold == 0 {
 		c.StealThreshold = 2
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerProbeAfter == 0 {
+		c.BreakerProbeAfter = 4
 	}
 	// Normalize the node config here so per-shard derivations below
 	// (memory split, runtime list) work from the defaulted values, and
@@ -117,6 +156,13 @@ type ShardStats struct {
 	IdleUCs         int
 	Mem             mem.Stats
 	Clock           time.Duration
+	// Breaker is the shard's circuit-breaker state ("closed", "open",
+	// "half-open").
+	Breaker string
+	// BreakerTrips counts closed→open transitions on this shard.
+	BreakerTrips int64
+	// FaultsInjected counts fault points fired on this shard.
+	FaultsInjected int64
 }
 
 // Stats is the pool-level aggregate.
@@ -130,16 +176,147 @@ type Stats struct {
 	MemoryUsedBytes int64
 	// Stolen counts requests served off their owner shard.
 	Stolen int64
+	// BreakerTrips sums closed→open transitions across shards.
+	BreakerTrips int64
+	// Rerouted counts requests diverted away from an open breaker.
+	Rerouted int64
+	// Requeued counts requests a stalled shard pushed back to the
+	// overflow queue for a healthy shard to serve.
+	Requeued int64
+	// Stalls counts injected shard stalls.
+	Stalls int64
 	// Shards is the per-shard breakdown.
 	Shards []ShardStats
+}
+
+// ---- Circuit breaker ----
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+// breaker is one shard's circuit breaker. It is the only mutable state
+// on the serving path shared between client goroutines (submit) and
+// the shard goroutine (serve); a plain mutex guards it — the critical
+// sections are a handful of integer ops.
+//
+// closed: requests route to the shard; `threshold` consecutive
+// contained failures open it. open: requests divert to the overflow
+// queue; after `probeAfter` diversions the next owned request is let
+// through as a half-open probe. half-open: the probe's outcome decides
+// — success closes, failure re-opens.
+type breaker struct {
+	mu         sync.Mutex
+	threshold  int
+	probeAfter int
+	state      int
+	failures   int // consecutive contained failures while closed
+	diverted   int // requests diverted while open
+	trips      int64
+}
+
+func newBreaker(threshold, probeAfter int) *breaker {
+	return &breaker{threshold: threshold, probeAfter: probeAfter}
+}
+
+// disabled reports whether breaker logic is off (threshold < 0).
+func (b *breaker) disabled() bool { return b.threshold < 0 }
+
+// route decides where an owned request goes: allow=false diverts it to
+// the overflow queue; probe marks the request as the half-open probe
+// (it must reach the owner directly, bypassing the steal spill).
+func (b *breaker) route() (allow, probe bool) {
+	if b.disabled() {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		b.diverted++
+		if b.diverted >= b.probeAfter {
+			b.state = breakerHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // half-open: one probe is already in flight
+		return false, false
+	}
+}
+
+// recordSuccess notes a request the shard served cleanly.
+func (b *breaker) recordSuccess() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.diverted = 0
+	}
+}
+
+// recordFailure notes a contained fault on the shard.
+func (b *breaker) recordFailure() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen: // the probe failed: straight back to open
+		b.state = breakerOpen
+		b.diverted = 0
+		b.trips++
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.failures = 0
+			b.diverted = 0
+			b.trips++
+		}
+	}
+	// Failures while already open (stolen work served here) don't
+	// re-trip; the breaker is already protecting the shard's keys.
+}
+
+// healthy reports whether the shard should take extra (stolen) work.
+func (b *breaker) healthy() bool {
+	if b.disabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed
+}
+
+// snapshot returns the state name and trip count.
+func (b *breaker) snapshot() (string, int64) {
+	if b.disabled() {
+		return "disabled", 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStateNames[b.state], b.trips
 }
 
 // request is one unit of work delivered to a shard goroutine: an
 // invocation, or a control read of shard state.
 type request struct {
-	req   core.Request
-	stats bool // control: snapshot shard stats instead of invoking
-	reply chan response
+	req      core.Request
+	stats    bool // control: snapshot shard stats instead of invoking
+	requeues int  // times a stalled shard pushed this request back
+	reply    chan response
 }
 
 type response struct {
@@ -153,11 +330,13 @@ type response struct {
 // shard is one shared-nothing compute unit: engine + store + node,
 // owned exclusively by its loop goroutine.
 type shard struct {
-	id   int
-	pool *Pool
-	eng  *sim.Engine
-	node *core.Node
-	reqs chan *request
+	id      int
+	pool    *Pool
+	eng     *sim.Engine
+	node    *core.Node
+	reqs    chan *request
+	faults  *fault.Injector // shared with the shard's node
+	breaker *breaker
 }
 
 // Pool is the front door over N shards.
@@ -169,6 +348,9 @@ type Pool struct {
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 	stolen   atomic.Int64
+	rerouted atomic.Int64
+	requeued atomic.Int64
+	stalls   atomic.Int64
 }
 
 // New hydrates and starts a pool.
@@ -250,21 +432,42 @@ func (p *Pool) hydrateShard(id int, memBytes int64, encoded map[string][]byte) (
 	nodeCfg := p.cfg.Node
 	nodeCfg.MemoryBytes = memBytes
 	nodeCfg.Seed = p.cfg.Node.Seed + int64(id)
+	// One injector per shard, shared with its node: shard-level stalls
+	// and node-level crashes land in a single replayable per-shard
+	// trace, derived deterministically from the pool seed.
+	inj := fault.New(p.cfg.Faults.Child(id))
+	nodeCfg.Faults = inj
 	node, err := core.NewNodeFromSnapshots(eng, nodeCfg, st, snaps)
 	if err != nil {
 		return nil, fmt.Errorf("shardpool: shard %d: %w", id, err)
 	}
 	return &shard{
-		id:   id,
-		pool: p,
-		eng:  eng,
-		node: node,
-		reqs: make(chan *request, p.cfg.QueueDepth),
+		id:      id,
+		pool:    p,
+		eng:     eng,
+		node:    node,
+		reqs:    make(chan *request, p.cfg.QueueDepth),
+		faults:  inj,
+		breaker: newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerProbeAfter),
 	}, nil
 }
 
 // Shards returns the shard count.
 func (p *Pool) Shards() int { return len(p.shards) }
+
+// anyHealthy reports whether some shard other than `except` has a
+// closed breaker — i.e. whether the overflow queue has a willing
+// thief. Pass except = -1 to count every shard. Re-routing is only
+// safe when this holds: sick shards do not steal, so publishing work
+// to the overflow queue with no healthy shard would strand it.
+func (p *Pool) anyHealthy(except int) bool {
+	for i, s := range p.shards {
+		if i != except && s.breaker.healthy() {
+			return true
+		}
+	}
+	return false
+}
 
 // shardFor routes a key to its owner shard by FNV-1a hash.
 func (p *Pool) shardFor(key string) int {
@@ -278,7 +481,10 @@ func (p *Pool) OwnerShard(key string) int { return p.shardFor(key) }
 
 // loop is a shard goroutine: it exclusively owns the shard's engine and
 // node, serving its own queue with priority and stealing from the
-// shared overflow queue when idle.
+// shared overflow queue when idle. A shard whose breaker is not closed
+// stops stealing — it drains its own queue (including the half-open
+// probe) but takes no diverted work, so a sick shard cannot re-capture
+// the very requests its breaker re-routed.
 func (s *shard) loop() {
 	defer s.pool.wg.Done()
 	for {
@@ -289,6 +495,15 @@ func (s *shard) loop() {
 			s.serve(r, false)
 			continue
 		default:
+		}
+		if !s.breaker.healthy() {
+			select {
+			case r := <-s.reqs:
+				s.serve(r, false)
+			case <-s.pool.quit:
+				return
+			}
+			continue
 		}
 		select {
 		case r := <-s.reqs:
@@ -306,6 +521,8 @@ func (s *shard) loop() {
 func (s *shard) serve(r *request, stolen bool) {
 	if r.stats {
 		st := s.node.Stats()
+		st.FaultsInjected = int64(s.faults.TotalFired())
+		state, trips := s.breaker.snapshot()
 		r.reply <- response{shard: s.id, stats: ShardStats{
 			Shard:           s.id,
 			Node:            st,
@@ -313,35 +530,90 @@ func (s *shard) serve(r *request, stolen bool) {
 			IdleUCs:         s.node.IdleUCs(),
 			Mem:             s.node.MemStats(),
 			Clock:           time.Duration(s.eng.Now()),
+			Breaker:         state,
+			BreakerTrips:    trips,
+			FaultsInjected:  st.FaultsInjected,
 		}}
 		return
 	}
+
+	// Fault point: the shard stalls. The request is not dropped — it
+	// requeues to the overflow queue for a healthy shard (the stall
+	// counts against this shard's breaker), unless re-routing is
+	// impossible, in which case the caller gets a contained error.
+	if s.faults.Fire(fault.PointShardStall) {
+		s.pool.stalls.Add(1)
+		s.breaker.recordFailure()
+		if !s.pool.cfg.DisableWorkStealing && r.requeues < 2*len(s.pool.shards) &&
+			s.pool.anyHealthy(-1) {
+			r.requeues++
+			select {
+			case s.pool.overflow <- r:
+				s.pool.requeued.Add(1)
+				return
+			default:
+				// Overflow full under a pool-wide storm; fail contained.
+			}
+		}
+		r.reply <- response{err: fault.Contain(ErrShardStalled), shard: s.id, stolen: stolen}
+		return
+	}
+
 	var res core.Result
 	var err error
 	s.eng.Go("invoke:"+r.req.Key, func(p *sim.Proc) {
 		res, err = s.node.Invoke(p, r.req)
 	})
 	s.eng.Run()
+	if err != nil && fault.IsContained(err) {
+		s.breaker.recordFailure()
+	} else {
+		s.breaker.recordSuccess()
+	}
 	if stolen {
 		s.pool.stolen.Add(1)
 	}
 	r.reply <- response{res: res, err: err, shard: s.id, stolen: stolen}
 }
 
-// submit routes a request: owner shard when its queue is shallow, the
-// shared overflow queue when the owner is backed up (unless stealing is
-// disabled). It never blocks the pool shut-down path.
+// submit routes a request: owner shard when its queue is shallow and
+// its breaker closed; the shared overflow queue when the owner is
+// backed up or its breaker is open (unless stealing is disabled). It
+// never blocks the pool shut-down path.
 func (p *Pool) submit(r *request, owner int) error {
 	if p.closed.Load() {
 		return ErrClosed
 	}
 	s := p.shards[owner]
-	if !p.cfg.DisableWorkStealing && !r.stats && len(s.reqs) >= p.cfg.StealThreshold {
-		select {
-		case p.overflow <- r:
-			return nil
-		default:
-			// Overflow full too; fall through to the owner.
+	if !p.cfg.DisableWorkStealing && !r.stats {
+		allow, probe := s.breaker.route()
+		switch {
+		case !allow:
+			// Open breaker: divert to a healthy shard over the
+			// work-stealing path. With no healthy thief (1-shard pool,
+			// pool-wide trip) fall through to the sick owner instead —
+			// it still serves, possibly failing contained, and any
+			// success it produces closes its breaker (self-healing via
+			// fall-through traffic).
+			if p.anyHealthy(owner) {
+				select {
+				case p.overflow <- r:
+					p.rerouted.Add(1)
+					return nil
+				default:
+					// Overflow full; fall through to the owner.
+				}
+			}
+		case probe:
+			// The half-open probe must reach the owner itself — skip
+			// the steal spill below.
+		case len(s.reqs) >= p.cfg.StealThreshold:
+			select {
+			case p.overflow <- r:
+				return nil
+			default:
+				// Overflow full too; fall through to the owner.
+			}
 		}
 	}
 	select {
@@ -434,6 +706,9 @@ func (p *Pool) Stats() (Stats, error) {
 	}
 	var out Stats
 	out.Stolen = p.stolen.Load()
+	out.Rerouted = p.rerouted.Load()
+	out.Requeued = p.requeued.Load()
+	out.Stalls = p.stalls.Load()
 	for _, ch := range replies {
 		resp, err := p.await(&request{reply: ch})
 		if err != nil {
@@ -441,19 +716,42 @@ func (p *Pool) Stats() (Stats, error) {
 		}
 		ss := resp.stats
 		out.Shards = append(out.Shards, ss)
-		out.Node.Cold += ss.Node.Cold
-		out.Node.Warm += ss.Node.Warm
-		out.Node.Hot += ss.Node.Hot
-		out.Node.Errors += ss.Node.Errors
-		out.Node.UCsDeployed += ss.Node.UCsDeployed
-		out.Node.UCsReclaimed += ss.Node.UCsReclaimed
-		out.Node.SnapshotsCaptured += ss.Node.SnapshotsCaptured
-		out.Node.SnapshotsEvicted += ss.Node.SnapshotsEvicted
+		out.Node.Add(ss.Node)
+		out.BreakerTrips += ss.BreakerTrips
 		out.CachedSnapshots += ss.CachedSnapshots
 		out.IdleUCs += ss.IdleUCs
 		out.MemoryUsedBytes += ss.Mem.BytesInUse
 	}
 	return out, nil
+}
+
+// BreakerState returns a shard's circuit-breaker state name without
+// routing through the shard goroutine (the /healthz read: cheap and
+// safe even when a shard is wedged mid-request).
+func (p *Pool) BreakerState(shard int) (string, error) {
+	if shard < 0 || shard >= len(p.shards) {
+		return "", fmt.Errorf("shardpool: no shard %d", shard)
+	}
+	state, _ := p.shards[shard].breaker.snapshot()
+	return state, nil
+}
+
+// BreakerStates returns every shard's breaker state, indexed by shard.
+func (p *Pool) BreakerStates() []string {
+	out := make([]string, len(p.shards))
+	for i, s := range p.shards {
+		out[i], _ = s.breaker.snapshot()
+	}
+	return out
+}
+
+// ShardFaults exposes a shard's fault injector (tests, diagnostics);
+// nil when injection is disabled.
+func (p *Pool) ShardFaults(shard int) *fault.Injector {
+	if shard < 0 || shard >= len(p.shards) {
+		return nil
+	}
+	return p.shards[shard].faults
 }
 
 // Close stops the shard goroutines and rejects further submissions.

@@ -30,6 +30,8 @@ const (
 	KindReclaim Kind = "reclaim"
 	KindEvict   Kind = "evict"
 	KindMigrate Kind = "migrate"
+	KindFault   Kind = "fault" // injected or contained failure
+
 )
 
 // Event is one recorded occurrence: an instant (Dur == 0) or a span.

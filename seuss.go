@@ -32,6 +32,7 @@ import (
 	"seuss/internal/cluster"
 	"seuss/internal/core"
 	"seuss/internal/faas"
+	"seuss/internal/fault"
 	"seuss/internal/metrics"
 	"seuss/internal/shardpool"
 	"seuss/internal/sim"
@@ -181,6 +182,21 @@ type NodeStats struct {
 	CachedSnapshots   int
 	IdleUCs           int
 	MemoryUsedBytes   int64
+	// Robustness is the failure-containment ledger: crashes contained,
+	// deadlines enforced, pressure degradations taken.
+	Robustness metrics.Robustness
+}
+
+// robustnessOf maps a core node's counters onto the metrics ledger.
+func robustnessOf(st core.Stats) metrics.Robustness {
+	return metrics.Robustness{
+		UCCrashes:                 st.UCCrashes,
+		DeadlinesExceeded:         st.DeadlinesExceeded,
+		PressureIdleReclaims:      st.PressureIdleReclaims,
+		PressureSnapshotEvictions: st.PressureSnapshotEvictions,
+		PressureColdFallbacks:     st.PressureColdFallbacks,
+		FaultsInjected:            st.FaultsInjected,
+	}
 }
 
 // Stats returns current counters.
@@ -196,6 +212,7 @@ func (n *Node) Stats() NodeStats {
 		CachedSnapshots:   n.node.CachedSnapshots(),
 		IdleUCs:           n.node.IdleUCs(),
 		MemoryUsedBytes:   n.node.MemStats().BytesInUse,
+		Robustness:        robustnessOf(st),
 	}
 }
 
@@ -215,6 +232,18 @@ type PoolConfig struct {
 	// DisableWorkStealing pins each function to its hash-owner shard
 	// (exactly reproducible per-shard sequences, no overflow path).
 	DisableWorkStealing bool
+	// FaultSeed / FaultRate enable deterministic fault injection: each
+	// registered fault point fires with probability FaultRate, decided
+	// by a per-shard injector derived from FaultSeed. Rate 0 disables
+	// injection entirely (zero overhead).
+	FaultSeed int64
+	FaultRate float64
+	// BreakerThreshold is the consecutive contained failures that open
+	// a shard's circuit breaker (0 = default 3, -1 disables).
+	BreakerThreshold int
+	// BreakerProbeAfter is the diverted requests an open breaker
+	// absorbs before probing half-open (0 = default 4).
+	BreakerProbeAfter int
 }
 
 // NodePool is a shared-nothing pool of compute shards behind one front
@@ -240,6 +269,9 @@ func NewNodePool(cfg PoolConfig) (*NodePool, error) {
 		Shards:              cfg.Shards,
 		Node:                cfg.Node,
 		DisableWorkStealing: cfg.DisableWorkStealing,
+		Faults:              fault.Config{Seed: cfg.FaultSeed, Rate: cfg.FaultRate},
+		BreakerThreshold:    cfg.BreakerThreshold,
+		BreakerProbeAfter:   cfg.BreakerProbeAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -290,6 +322,12 @@ type PoolStats struct {
 	NodeStats
 	// Stolen counts requests served off their owner shard.
 	Stolen int64
+	// Requeued counts requests a stalled shard pushed back to the
+	// overflow queue; Stalls counts the injected stalls themselves.
+	Requeued int64
+	Stalls   int64
+	// Breakers is each shard's circuit-breaker state, indexed by shard.
+	Breakers []string
 	// Shards is the per-shard breakdown.
 	Shards []ShardStats
 }
@@ -303,6 +341,9 @@ func (p *NodePool) Stats() (PoolStats, error) {
 	if err != nil {
 		return PoolStats{}, err
 	}
+	rob := robustnessOf(st.Node)
+	rob.BreakerTrips = st.BreakerTrips
+	rob.Rerouted = st.Rerouted
 	return PoolStats{
 		NodeStats: NodeStats{
 			Cold: st.Node.Cold, Warm: st.Node.Warm, Hot: st.Node.Hot,
@@ -314,9 +355,13 @@ func (p *NodePool) Stats() (PoolStats, error) {
 			CachedSnapshots:   st.CachedSnapshots,
 			IdleUCs:           st.IdleUCs,
 			MemoryUsedBytes:   st.MemoryUsedBytes,
+			Robustness:        rob,
 		},
-		Stolen: st.Stolen,
-		Shards: st.Shards,
+		Stolen:   st.Stolen,
+		Requeued: st.Requeued,
+		Stalls:   st.Stalls,
+		Breakers: p.pool.BreakerStates(),
+		Shards:   st.Shards,
 	}, nil
 }
 

@@ -354,3 +354,44 @@ func TestSeussPoolClusterFacade(t *testing.T) {
 		t.Error(invErr)
 	}
 }
+
+func TestPoolFacadeRobustnessSurface(t *testing.T) {
+	pool, err := NewNodePool(PoolConfig{
+		Shards:    2,
+		Node:      NodeDefaults(),
+		FaultSeed: 1,
+		FaultRate: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := pool.InvokeSync("acct/fn", NOPSource, "{}"); err != nil {
+			// Injected faults surface as errors here (no retry layer in
+			// the bare pool); they must at least be accounted for below.
+			continue
+		}
+	}
+	st, err := pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Breakers) != 2 {
+		t.Fatalf("breaker states = %v, want one per shard", st.Breakers)
+	}
+	for i, b := range st.Breakers {
+		if b == "" {
+			t.Errorf("shard %d breaker state empty", i)
+		}
+	}
+	if st.Robustness.FaultsInjected == 0 {
+		t.Error("rate 0.2 over 30 invocations injected nothing")
+	}
+	if st.Robustness.Zero() {
+		t.Error("robustness ledger empty under injection")
+	}
+	if !strings.Contains(st.Robustness.String(), "faults_injected") {
+		t.Errorf("ledger = %q", st.Robustness.String())
+	}
+}
