@@ -340,6 +340,7 @@ func BenchmarkUCDeployRealTime(b *testing.B) {
 	st := mem.NewStore(0)
 	runtime := buildRuntimeSnapshot(b, st)
 	env := &libos.CountingEnv{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, err := uc.Deploy(runtime, nil, env)
@@ -356,6 +357,7 @@ func BenchmarkSnapshotCaptureRealTime(b *testing.B) {
 	st := mem.NewStore(0)
 	runtime := buildRuntimeSnapshot(b, st)
 	env := &libos.CountingEnv{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -384,6 +386,7 @@ func BenchmarkPageFaultRealTime(b *testing.B) {
 		b.Fatal(err)
 	}
 	space := u.Space()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Demand-zero fault on a fresh page.
@@ -404,6 +407,7 @@ func BenchmarkInterpreterNOP(b *testing.B) {
 	u.Guest().Connect()
 	u.Guest().ImportAndCompile(workload.NOPSource)
 	u.Guest().Invoke(`{}`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := u.Guest().Invoke(`{}`); err != nil {

@@ -4,6 +4,7 @@
 //
 //	seuss-node [-addr :8080] [-shards N] [-no-ao] [-no-steal]
 //	           [-deadline 0] [-fault-seed 0] [-fault-rate 0]
+//	           [-pprof localhost:6060]
 //
 // The node is a sharded pool: N shared-nothing compute shards (default:
 // one per CPU), each hydrated from a single encoded base-runtime
@@ -47,6 +48,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -248,7 +250,19 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-invocation deadline (virtual time; 0 = unlimited)")
 	faultSeed := flag.Int64("fault-seed", 0, "deterministic fault-injection seed")
 	faultRate := flag.Float64("fault-rate", 0, "fault-point firing probability (0 disables injection)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A separate listener keeps the profiling surface off the public
+		// port; http.DefaultServeMux carries the pprof handlers.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("seuss-node: pprof: %v", err)
+			}
+		}()
+	}
 
 	cfg := seuss.PoolConfig{
 		Shards:              *shards,

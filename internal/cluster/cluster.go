@@ -306,7 +306,9 @@ func (c *Cluster) migrate(p *sim.Proc, holder, dst *Member, key string) *Member 
 	if c.faults.Fire(fault.PointSnapshotCorrupt) {
 		wire.Truncate(wire.Len() / 2)
 	}
-	diff, err := snapshot.Import(&wire)
+	// Decode without copying: the diff aliases wire's bytes, which stay
+	// live until AdoptDiff has grafted (copied) them into local frames.
+	diff, err := snapshot.ImportBytes(wire.Bytes())
 	if err != nil {
 		c.stats.FailedMigrations++
 		return holder

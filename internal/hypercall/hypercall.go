@@ -99,20 +99,44 @@ type Host interface {
 	Halt(status int)
 }
 
+// CPUSink receives the CPU-time cost of each domain crossing. Any
+// environment with a ChargeCPU method (e.g. libos.Env) satisfies it
+// directly — holding the sink as an interface instead of a bound method
+// value keeps Counter construction allocation-free.
+type CPUSink interface {
+	ChargeCPU(d time.Duration)
+}
+
+// ChargeFunc adapts a plain function to CPUSink (test harnesses).
+type ChargeFunc func(d time.Duration)
+
+// ChargeCPU implements CPUSink.
+func (f ChargeFunc) ChargeCPU(d time.Duration) { f(d) }
+
 // Counter wraps a Host and counts crossings per hypercall, charging the
 // domain-crossing cost to a CPU-time sink. It is how the evaluation
 // observes hypercall traffic and how the time model charges crossings.
 type Counter struct {
 	inner  Host
 	counts [NumCalls]int64
-	charge func(time.Duration)
+	sink   CPUSink
 	cost   time.Duration
 }
 
 // NewCounter returns a counting, cost-charging wrapper around inner.
-// charge may be nil (no time accounting, e.g. unit tests).
-func NewCounter(inner Host, cost time.Duration, charge func(time.Duration)) *Counter {
-	return &Counter{inner: inner, cost: cost, charge: charge}
+// sink may be nil (no time accounting, e.g. unit tests).
+func NewCounter(inner Host, cost time.Duration, sink CPUSink) *Counter {
+	return &Counter{inner: inner, cost: cost, sink: sink}
+}
+
+// Reset rebinds the counter to a new inner host and sink and zeroes the
+// crossing counts — the recycling path for deploy kits, where the
+// Counter struct outlives one UC incarnation and must start the next
+// with clean accounting.
+func (c *Counter) Reset(inner Host, sink CPUSink) {
+	c.inner = inner
+	c.sink = sink
+	c.counts = [NumCalls]int64{}
 }
 
 // Counts returns the per-hypercall crossing counts.
@@ -129,8 +153,8 @@ func (c *Counter) Total() int64 {
 
 func (c *Counter) cross(n Number) {
 	c.counts[n]++
-	if c.charge != nil {
-		c.charge(c.cost)
+	if c.sink != nil {
+		c.sink.ChargeCPU(c.cost)
 	}
 }
 

@@ -24,7 +24,7 @@ func TestNumberNames(t *testing.T) {
 func TestCounterCountsAndCharges(t *testing.T) {
 	stub := NewStubHost()
 	var charged time.Duration
-	c := NewCounter(stub, 300*time.Nanosecond, func(d time.Duration) { charged += d })
+	c := NewCounter(stub, 300*time.Nanosecond, ChargeFunc(func(d time.Duration) { charged += d }))
 	c.Puts("hello")
 	c.Puts("world")
 	c.NetInfo()
@@ -49,6 +49,25 @@ func TestCounterNilCharge(t *testing.T) {
 	c.Halt(0) // must not panic
 	if c.Counts()[NumHalt] != 1 {
 		t.Error("halt not counted")
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	var a, b time.Duration
+	first := NewStubHost()
+	c := NewCounter(first, time.Microsecond, ChargeFunc(func(d time.Duration) { a += d }))
+	c.Puts("x")
+	second := NewStubHost()
+	c.Reset(second, ChargeFunc(func(d time.Duration) { b += d }))
+	if c.Total() != 0 {
+		t.Errorf("counts survived Reset: total = %d", c.Total())
+	}
+	c.Puts("y")
+	if a != time.Microsecond || b != time.Microsecond {
+		t.Errorf("charges a=%v b=%v, want 1µs each", a, b)
+	}
+	if len(first.Console) != 1 || len(second.Console) != 1 {
+		t.Errorf("console routing: first=%v second=%v", first.Console, second.Console)
 	}
 }
 

@@ -102,6 +102,14 @@ type Runtime struct {
 	allocs  int64
 	hookErr error
 	rngSeed uint64
+	// pristine records that the interpreter environment still equals the
+	// state RestoreFromState replayed — no driver or user code has run
+	// since — so the whole guest stack can be recycled as a deploy kit.
+	pristine bool
+	// replaySeed is rngSeed as RestoreFromState left it, restored on
+	// kit recycling so a recycled deploy draws the same random sequence
+	// a fresh rehydration would.
+	replaySeed uint64
 }
 
 // NewRuntime wires a fresh Node.js-profile interpreter to a booted
@@ -206,6 +214,7 @@ func (r *Runtime) InitInterpreter() error {
 	if !r.uk.Booted() {
 		return libos.ErrNotBooted
 	}
+	r.pristine = false
 	// Interpreter binary + initial heap: the bulk of the runtime image
 	// (109.6 MB for the Node.js profile). Kernel, stack, and driver
 	// make up the rest.
@@ -223,6 +232,7 @@ func (r *Runtime) StartDriver() error {
 	if r.st.DriverStarted {
 		return errors.New("interp: driver already started")
 	}
+	r.pristine = false
 	if err := r.uk.WriteFile("/driver.js", []byte(r.prof.DriverSource)); err != nil {
 		return err
 	}
@@ -238,6 +248,7 @@ func (r *Runtime) StartDriver() error {
 // lazy interpreter initialization into the shared image and pre-growing
 // caches to production depth.
 func (r *Runtime) WarmInterpreter() error {
+	r.pristine = false
 	if err := r.ensureInterpFirstRun(); err != nil {
 		return err
 	}
@@ -291,6 +302,7 @@ func (r *Runtime) ImportAndCompile(src string) error {
 	if !r.Connected() {
 		return errors.New("interp: import without connection")
 	}
+	r.pristine = false
 	if err := r.conn.Send(int64(len(src))); err != nil {
 		return err
 	}
@@ -332,6 +344,7 @@ func (r *Runtime) Invoke(argsJSON string) (string, error) {
 	if err := r.conn.Send(int64(len(argsJSON))); err != nil {
 		return "", err
 	}
+	r.pristine = false
 	r.uk.Env().ChargeCPU(costs.ArgImport)
 
 	// Mutable runtime structures captured in the deployed image are
@@ -379,6 +392,7 @@ func (r *Runtime) Invoke(argsJSON string) (string, error) {
 // Requests returns the driver's in-guest request counter (read through
 // the interpreter, proving the driver state is real).
 func (r *Runtime) Requests() (int, error) {
+	r.pristine = false
 	v, err := r.in.CallGlobal("__status", nil)
 	if err != nil {
 		return 0, err
@@ -442,5 +456,34 @@ func RestoreFromState(uk *libos.Unikernel, st State, diffPages int) (*Runtime, e
 			return nil, fmt.Errorf("interp: rehydrating driver counter: %w", err)
 		}
 	}
+	r.pristine = true
+	r.replaySeed = r.rngSeed
 	return r, nil
+}
+
+// Pristine reports whether the interpreter environment still equals
+// exactly what RestoreFromState replayed: no driver traffic, imports,
+// or invocations have run since. A pristine runtime can be rebound to a
+// fresh deployment of the same snapshot without replaying anything.
+// Connecting does not spoil pristineness — connection state lives in
+// libos and is reset by rehydration.
+func (r *Runtime) Pristine() bool { return r.pristine }
+
+// ResetForRedeploy rebinds a pristine runtime to a fresh deployment of
+// the snapshot it was rehydrated from, restoring every field
+// RestoreFromState would have set — without the replay, because
+// pristine means the interpreter environment already matches. The
+// unikernel must already be reattached and rehydrated.
+func (r *Runtime) ResetForRedeploy(st State, diffPages int) {
+	r.st = st
+	if r.st.Runtime == "" {
+		r.st.Runtime = r.prof.Name
+	}
+	r.st.DeployedDiffPages = diffPages
+	r.conn = nil
+	r.silent = false
+	r.allocs = 0
+	r.hookErr = nil
+	r.rngSeed = r.replaySeed
+	r.in.LimitSteps(0)
 }

@@ -132,13 +132,23 @@ func (u *Unikernel) State() State {
 // Rehydrate restores guest metadata from a snapshot payload without
 // charging any virtual time: on real hardware this state is simply part
 // of the restored memory image. The address space must already be the
-// snapshot's deployed clone.
+// snapshot's deployed clone. The unikernel's existing ramdisk maps are
+// reused (cleared and refilled) so recycled deploy kits rehydrate
+// without allocating.
 func (u *Unikernel) Rehydrate(st State) {
-	files := make(map[string]int64, len(st.Files))
+	files := u.st.Files
+	if files == nil {
+		files = make(map[string]int64, len(st.Files))
+	}
+	clear(files)
 	for k, v := range st.Files {
 		files[k] = v
 	}
-	addrs := make(map[string]uint64, len(st.FileAddrs))
+	addrs := u.st.FileAddrs
+	if addrs == nil {
+		addrs = make(map[string]uint64, len(st.FileAddrs))
+	}
+	clear(addrs)
 	for k, v := range st.FileAddrs {
 		addrs[k] = v
 	}
@@ -146,6 +156,17 @@ func (u *Unikernel) Rehydrate(st State) {
 	u.st.Files = files
 	u.st.FileAddrs = addrs
 	u.syncFaultBase()
+}
+
+// Reattach rebinds a recycled unikernel to a fresh deployment: a new
+// address space clone, hypercall interface, and host environment. Guest
+// metadata is untouched — callers follow with Rehydrate, which resets it
+// from the snapshot payload (including the fault-charging base).
+func (u *Unikernel) Reattach(as *pagetable.AddressSpace, host hypercall.Host, env Env) {
+	u.as = as
+	u.host = host
+	u.env = env
+	u.lastFaults = 0
 }
 
 // syncFaultBase resets fault charging so pre-existing faults (e.g. from

@@ -46,7 +46,7 @@ func (s *Scanner) Scan() DedupStats {
 	seen := make(map[[32]byte]bool)
 	buf := make([]byte, PageSize)
 	for _, f := range s.frames {
-		if f.refs <= 0 {
+		if f.Refs() <= 0 {
 			continue
 		}
 		if !f.Materialized() {

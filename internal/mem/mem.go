@@ -9,11 +9,21 @@
 // configurable budget, and *lazy* frame contents so density experiments
 // with 50 000+ cached contexts fit in laptop RAM — a frame's 4 KB payload
 // is only materialized when something writes actual bytes into it.
+//
+// The allocator is free-list backed: freed frame descriptors and freed
+// 4 KB payload buffers are recycled instead of handed back to the Go
+// allocator, so the deploy→fault→capture hot path runs allocation-free
+// in steady state (fresh descriptors come from slabs, amortizing the
+// cold-start cost too). Recycling trades away the garbage collector's
+// use-after-free protection; build with `-tags seusspoison` to get it
+// back — freed payloads are filled with a poison pattern and freed
+// descriptors are quarantined so stale handles keep panicking.
 package mem
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // PageSize is the size of a physical frame in bytes, matching x86-64.
@@ -21,6 +31,17 @@ const PageSize = 4096
 
 // PageShift is log2(PageSize).
 const PageShift = 12
+
+// frameSlabSize is how many frame descriptors are carved from one slab
+// allocation when the free list is empty. 128 descriptors ≈ 6 KB —
+// small enough to stay cheap, large enough that allocs/op on a
+// descriptor-churning benchmark truncates to zero.
+const frameSlabSize = 128
+
+// maxFreeBufs bounds the recycled-payload list so a transient burst of
+// materialized pages (a density spike) does not pin its high-water mark
+// in buffers forever. 16 384 buffers = 64 MB per store.
+const maxFreeBufs = 16384
 
 // ErrOutOfMemory is returned by Alloc when the store's byte budget is
 // exhausted. The SEUSS OOM policy (§6 Memory Management) reacts to this
@@ -33,9 +54,14 @@ type FrameID uint64
 // Frame is a 4 KB physical frame. Frames are reference counted: page
 // tables, snapshots, and UCs that map a frame hold a reference, and the
 // frame returns to the allocator when the last reference drops.
+//
+// The reference count is atomic so read-side paths (stats, the dedup
+// scanner, cross-shard observers) may call Refs concurrently with a
+// shard mutating it; all *structural* mutation (Alloc/DecRef/Write)
+// still belongs to the store-owning goroutine.
 type Frame struct {
 	id   FrameID
-	refs int32
+	refs atomic.Int32
 	data []byte // nil until materialized; nil reads as all zeros
 	st   *Store
 }
@@ -44,11 +70,18 @@ type Frame struct {
 func (f *Frame) ID() FrameID { return f.id }
 
 // Refs returns the current reference count.
-func (f *Frame) Refs() int32 { return f.refs }
+func (f *Frame) Refs() int32 { return f.refs.Load() }
 
 // Materialized reports whether the frame's 4 KB payload is backed by
 // real bytes (true) or is an implicit zero page (false).
 func (f *Frame) Materialized() bool { return f.data != nil }
+
+// Bytes returns the frame's live payload without copying, or nil for an
+// unmaterialized (implicit zero) frame. The slice aliases the frame's
+// backing buffer: it is valid only while the caller holds a reference,
+// and callers must treat it as read-only — it exists so the snapshot
+// codec can stream page contents straight from frames to the wire.
+func (f *Frame) Bytes() []byte { return f.data }
 
 // Write copies data into the frame at off, materializing the payload on
 // first write. It panics if the write would run past the frame: callers
@@ -61,7 +94,7 @@ func (f *Frame) Write(off int, data []byte) {
 		return
 	}
 	if f.data == nil {
-		f.data = make([]byte, PageSize)
+		f.data = f.st.getBuf(true)
 		f.st.materialized++
 		if f.st.scanner != nil {
 			f.st.scanner.Track(f)
@@ -85,7 +118,8 @@ func (f *Frame) Read(off int, dst []byte) {
 	copy(dst, f.data[off:])
 }
 
-// Store is a physical memory allocator with a byte budget.
+// Store is a physical memory allocator with a byte budget. Stores are
+// shard-local (shared-nothing), so the free lists need no locking.
 type Store struct {
 	budget       int64 // total bytes; 0 means unlimited
 	nextID       FrameID
@@ -94,6 +128,12 @@ type Store struct {
 	materialized int64 // frames with real payloads
 	allocs       int64 // lifetime allocation count
 	frees        int64
+	frameReuses  int64 // allocs served from the descriptor free list
+	bufReuses    int64 // materializations served from the payload free list
+	free         []*Frame // recycled descriptors (refs==0, data==nil)
+	bufs         [][]byte // recycled 4 KB payloads
+	slab         []Frame  // current descriptor slab
+	slabN        int      // descriptors handed out of slab
 	scanner      *Scanner // optional KSM-style content scanner
 }
 
@@ -112,6 +152,33 @@ func NewStore(budget int64) *Store {
 // Budget returns the configured byte budget (0 = unlimited).
 func (s *Store) Budget() int64 { return s.budget }
 
+// getBuf returns a 4 KB payload buffer, recycled when possible. Recycled
+// buffers carry stale bytes (or poison, under the seusspoison tag), so
+// callers that expose the buffer as a fresh zero page pass zero=true;
+// the Clone path overwrites the full page and skips the clear.
+func (s *Store) getBuf(zero bool) []byte {
+	if n := len(s.bufs); n > 0 {
+		b := s.bufs[n-1]
+		s.bufs[n-1] = nil
+		s.bufs = s.bufs[:n-1]
+		s.bufReuses++
+		if zero {
+			clear(b)
+		}
+		return b
+	}
+	return make([]byte, PageSize)
+}
+
+// putBuf recycles a payload buffer (poisoning it first under the
+// seusspoison build tag).
+func (s *Store) putBuf(b []byte) {
+	poisonBuf(b)
+	if len(s.bufs) < maxFreeBufs {
+		s.bufs = append(s.bufs, b)
+	}
+}
+
 // Alloc returns a fresh frame with reference count 1, or ErrOutOfMemory
 // if the budget would be exceeded.
 func (s *Store) Alloc() (*Frame, error) {
@@ -124,7 +191,24 @@ func (s *Store) Alloc() (*Frame, error) {
 	if s.inUse > s.highWater {
 		s.highWater = s.inUse
 	}
-	return &Frame{id: s.nextID, refs: 1, st: s}, nil
+	var f *Frame
+	if n := len(s.free); n > 0 && framePoolEnabled {
+		f = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.frameReuses++
+	} else {
+		if s.slabN == len(s.slab) {
+			s.slab = make([]Frame, frameSlabSize)
+			s.slabN = 0
+		}
+		f = &s.slab[s.slabN]
+		s.slabN++
+	}
+	f.id = s.nextID
+	f.st = s
+	f.refs.Store(1)
+	return f, nil
 }
 
 // MustAlloc is Alloc for contexts where the budget is known to hold
@@ -140,30 +224,36 @@ func (s *Store) MustAlloc() *Frame {
 // IncRef adds a reference to the frame (a new mapping or snapshot
 // capture of it).
 func (s *Store) IncRef(f *Frame) {
-	if f.refs <= 0 {
+	if f.refs.Load() <= 0 {
 		panic("mem: IncRef on freed frame")
 	}
-	f.refs++
+	f.refs.Add(1)
 }
 
-// DecRef drops a reference; when the count reaches zero the frame is
-// returned to the allocator.
+// DecRef drops a reference; when the count reaches zero the frame's
+// descriptor and payload buffer are returned to the store's free lists
+// (under the seusspoison tag the descriptor is quarantined instead, so
+// a stale handle still panics on the next IncRef/DecRef).
 func (s *Store) DecRef(f *Frame) {
-	if f.refs <= 0 {
+	if f.refs.Load() <= 0 {
 		panic("mem: DecRef on freed frame")
 	}
-	f.refs--
-	if f.refs == 0 {
-		if f.data != nil {
-			f.data = nil
-			s.materialized--
-			if s.scanner != nil {
-				s.scanner.Untrack(f.id)
-			}
+	if f.refs.Add(-1) != 0 {
+		return
+	}
+	if f.data != nil {
+		s.putBuf(f.data)
+		f.data = nil
+		s.materialized--
+		if s.scanner != nil {
+			s.scanner.Untrack(f.id)
 		}
-		s.inUse--
-		s.frees++
-		f.st = nil
+	}
+	s.inUse--
+	s.frees++
+	f.st = nil
+	if framePoolEnabled {
+		s.free = append(s.free, f)
 	}
 }
 
@@ -176,7 +266,7 @@ func (s *Store) Clone(src *Frame) (*Frame, error) {
 		return nil, err
 	}
 	if src.data != nil {
-		f.data = make([]byte, PageSize)
+		f.data = s.getBuf(false)
 		copy(f.data, src.data)
 		s.materialized++
 		if s.scanner != nil {
@@ -194,6 +284,8 @@ type Stats struct {
 	Materialized int64 // frames with real payloads
 	Allocs       int64
 	Frees        int64
+	FrameReuses  int64 // allocs served by recycled descriptors
+	BufReuses    int64 // materializations served by recycled buffers
 	Budget       int64
 }
 
@@ -206,6 +298,8 @@ func (s *Store) Stats() Stats {
 		Materialized: s.materialized,
 		Allocs:       s.allocs,
 		Frees:        s.frees,
+		FrameReuses:  s.frameReuses,
+		BufReuses:    s.bufReuses,
 		Budget:       s.budget,
 	}
 }

@@ -1,0 +1,14 @@
+//go:build !seusspoison
+
+package mem
+
+// PoisonEnabled reports whether the store poisons freed payload buffers
+// and quarantines freed frame descriptors (build tag seusspoison).
+const PoisonEnabled = false
+
+// framePoolEnabled gates descriptor recycling. In the default build,
+// descriptors are recycled for the allocation-free hot path.
+const framePoolEnabled = true
+
+// poisonBuf is a no-op in the default build.
+func poisonBuf([]byte) {}

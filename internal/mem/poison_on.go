@@ -1,0 +1,26 @@
+//go:build seusspoison
+
+package mem
+
+// PoisonEnabled reports whether the store poisons freed payload buffers
+// and quarantines freed frame descriptors (build tag seusspoison).
+const PoisonEnabled = true
+
+// PoisonByte fills every freed payload buffer. A reader holding a
+// use-after-free view of a frame's bytes sees 0xDB, not zeros — so
+// aliasing bugs show up as loud content corruption in tests instead of
+// silent zero reads.
+const PoisonByte = 0xDB
+
+// framePoolEnabled gates descriptor recycling. Under seusspoison,
+// descriptors are quarantined (never recycled) so a stale *Frame handle
+// keeps its refs==0 state forever and the next IncRef/DecRef panics —
+// the same detection the garbage-collected build gave us for free.
+const framePoolEnabled = false
+
+// poisonBuf fills a freed payload with the poison pattern.
+func poisonBuf(b []byte) {
+	for i := range b {
+		b[i] = PoisonByte
+	}
+}

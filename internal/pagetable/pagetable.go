@@ -19,6 +19,14 @@
 //     unmapped pages allocate demand-zero frames, and every store sets
 //     the dirty bit and lands on the address space's dirty list — the
 //     exact state snapshot capture consumes.
+//
+// The structures themselves are recycled: page-table nodes and address
+// space shells released by Release/privatize return to a per-lineage
+// free pool (created by New, inherited by every Clone), and the dirty
+// list keeps its storage across ClearDirty cycles. Combined with the
+// frame pool in package mem, a deploy→fault→capture cycle is
+// allocation-free in steady state. Lineages are shard-local
+// (shared-nothing), so the pools need no locking.
 package pagetable
 
 import (
@@ -46,6 +54,12 @@ const (
 	// FlagCoW is the software copy-on-write bit: the entry references a
 	// frame owned by a snapshot; the first store clones it.
 	FlagCoW
+
+	// flagDirtyListed is a software-only bit recording that the page's
+	// VA is on the space's dirty list — the invariant that lets the
+	// list be an append-only slice (reused across captures) instead of
+	// a map rebuilt per cycle, with no duplicate entries.
+	flagDirtyListed Flags = 1 << 7
 )
 
 const (
@@ -56,6 +70,17 @@ const (
 	// MaxVirtual is one past the highest mappable virtual address
 	// (48-bit canonical lower half).
 	MaxVirtual = uint64(1) << 48
+	// spanMask covers the bytes mapped by one PT-level node (2 MB).
+	spanMask = uint64(entriesPer*mem.PageSize - 1)
+)
+
+const (
+	// maxPooledNodes bounds the per-lineage node free list (8192 nodes
+	// ≈ 100 MB of mapped-address capacity; beyond that, let the GC
+	// have them).
+	maxPooledNodes = 8192
+	// maxPooledSpaces bounds recycled address-space shells.
+	maxPooledSpaces = 512
 )
 
 // ErrBadAddress is returned for virtual addresses outside the canonical
@@ -85,6 +110,32 @@ type node struct {
 	refs    int32
 	frame   *mem.Frame // accounting: the node itself occupies one frame
 	entries [entriesPer]entry
+}
+
+// structPool recycles page-table nodes and address-space shells within
+// one lineage (a root space plus every space Cloned from it,
+// transitively). Single-goroutine by the shard ownership contract.
+type structPool struct {
+	nodes  []*node
+	spaces []*AddressSpace
+}
+
+func (p *structPool) putNode(n *node) {
+	if p == nil || len(p.nodes) >= maxPooledNodes {
+		return
+	}
+	p.nodes = append(p.nodes, n)
+}
+
+func (p *structPool) getSpace() *AddressSpace {
+	if p == nil || len(p.spaces) == 0 {
+		return &AddressSpace{}
+	}
+	n := len(p.spaces)
+	as := p.spaces[n-1]
+	p.spaces[n-1] = nil
+	p.spaces = p.spaces[:n-1]
+	return as
 }
 
 // FaultKind classifies resolved page faults, mirroring §6's three
@@ -121,26 +172,46 @@ func (f FaultStats) Copied() int { return f.DemandZero + f.CoW }
 type AddressSpace struct {
 	st    *mem.Store
 	root  *node
-	dirty map[uint64]struct{} // page-base VAs written since last ClearDirty
+	dirty []uint64 // page-base VAs written since last ClearDirty; dedup via flagDirtyListed
 	// Faults accumulates fault-resolution counts; see FaultStats.
 	Faults FaultStats
 	mapped int // present leaf entries reachable (maintained incrementally)
 	frozen bool
+	pool   *structPool
+	// One-entry software TLB for the write-fault path: the PT node that
+	// resolved the last faultForWrite. A burst of faults within one
+	// 2 MB span walks (and privatizes) the node once, then hits here.
+	// Invalidated by Clone — the source's nodes become shared and the
+	// next write must re-privatize — and by Release.
+	cacheBase uint64
+	cachePT   *node
+	cacheOK   bool
 }
 
-// New returns an empty address space backed by st.
+// New returns an empty address space backed by st. The space owns a
+// fresh structure pool, inherited by every space cloned from it.
 func New(st *mem.Store) (*AddressSpace, error) {
-	root, err := newNode(st, levels-1)
+	pool := &structPool{}
+	root, err := newNode(st, pool, levels-1)
 	if err != nil {
 		return nil, err
 	}
-	return &AddressSpace{st: st, root: root, dirty: make(map[uint64]struct{})}, nil
+	return &AddressSpace{st: st, root: root, pool: pool}, nil
 }
 
-func newNode(st *mem.Store, level int) (*node, error) {
+func newNode(st *mem.Store, pool *structPool, level int) (*node, error) {
 	f, err := st.Alloc()
 	if err != nil {
 		return nil, err
+	}
+	if pool != nil {
+		if n := len(pool.nodes); n > 0 {
+			nd := pool.nodes[n-1]
+			pool.nodes[n-1] = nil
+			pool.nodes = pool.nodes[:n-1]
+			nd.level, nd.refs, nd.frame = level, 1, f
+			return nd, nil
+		}
 	}
 	return &node{level: level, refs: 1, frame: f}, nil
 }
@@ -168,7 +239,7 @@ func (as *AddressSpace) MappedPages() int { return as.mapped }
 // the snapshot layer enforces this. Cloning a space with writable
 // entries would alias writable frames between spaces.
 func (as *AddressSpace) Clone() (*AddressSpace, error) {
-	root, err := newNode(as.st, levels-1)
+	root, err := newNode(as.st, as.pool, levels-1)
 	if err != nil {
 		return nil, err
 	}
@@ -179,12 +250,19 @@ func (as *AddressSpace) Clone() (*AddressSpace, error) {
 		}
 		root.entries[i] = e
 	}
-	return &AddressSpace{
+	// Our previously-private path nodes are now reachable from the
+	// clone: the next write fault must re-walk and re-privatize rather
+	// than scribble into a node the clone shares.
+	as.cacheOK, as.cachePT = false, nil
+	cp := as.pool.getSpace()
+	*cp = AddressSpace{
 		st:     as.st,
 		root:   root,
-		dirty:  make(map[uint64]struct{}),
+		dirty:  cp.dirty[:0], // keep recycled storage
 		mapped: as.mapped,
-	}, nil
+		pool:   as.pool,
+	}
+	return cp, nil
 }
 
 // privatize returns a private copy of n (refs==1), cloning it if shared.
@@ -194,7 +272,7 @@ func (as *AddressSpace) privatize(n *node) (*node, error) {
 	if n.refs == 1 {
 		return n, nil
 	}
-	cp, err := newNode(as.st, n.level)
+	cp, err := newNode(as.st, as.pool, n.level)
 	if err != nil {
 		return nil, err
 	}
@@ -208,14 +286,14 @@ func (as *AddressSpace) privatize(n *node) (*node, error) {
 		}
 		cp.entries[i] = e
 	}
-	releaseNode(as.st, n)
+	releaseNode(as.st, as.pool, n)
 	as.Faults.TableClones++
 	return cp, nil
 }
 
 // releaseNode drops one reference; at zero it releases children and the
-// node's accounting frame.
-func releaseNode(st *mem.Store, n *node) {
+// node's accounting frame and recycles the node into the pool.
+func releaseNode(st *mem.Store, pool *structPool, n *node) {
 	n.refs--
 	if n.refs > 0 {
 		return
@@ -223,21 +301,32 @@ func releaseNode(st *mem.Store, n *node) {
 	for i := range n.entries {
 		e := &n.entries[i]
 		if e.child != nil {
-			releaseNode(st, e.child)
+			releaseNode(st, pool, e.child)
 		}
 		if e.frame != nil {
 			st.DecRef(e.frame)
 		}
 	}
 	st.DecRef(n.frame)
+	n.frame = nil
+	n.entries = [entriesPer]entry{}
+	pool.putNode(n)
 }
 
 // Release frees the address space: every shared node and frame loses one
-// reference. The space must not be used afterwards.
+// reference, and the shell itself is recycled into the lineage pool.
+// The space must not be used afterwards.
 func (as *AddressSpace) Release() {
-	if as.root != nil {
-		releaseNode(as.st, as.root)
-		as.root = nil
+	if as.root == nil {
+		return
+	}
+	releaseNode(as.st, as.pool, as.root)
+	as.root = nil
+	as.cacheOK, as.cachePT = false, nil
+	if pool := as.pool; pool != nil && len(pool.spaces) < maxPooledSpaces {
+		dirty := as.dirty[:0]
+		*as = AddressSpace{dirty: dirty}
+		pool.spaces = append(pool.spaces, as)
 	}
 }
 
@@ -257,7 +346,7 @@ func (as *AddressSpace) walk(va uint64, build bool) (*node, error) {
 			if !build {
 				return nil, nil
 			}
-			child, err := newNode(as.st, level-1)
+			child, err := newNode(as.st, as.pool, level-1)
 			if err != nil {
 				return nil, err
 			}
@@ -289,6 +378,7 @@ func (as *AddressSpace) MapFrame(va uint64, f *mem.Frame, flags Flags) error {
 		return err
 	}
 	e := &pt.entries[index(va, 0)]
+	listed := e.flags & flagDirtyListed // a replaced mapping stays on the dirty list
 	if e.frame != nil {
 		as.st.DecRef(e.frame)
 	} else {
@@ -296,7 +386,7 @@ func (as *AddressSpace) MapFrame(va uint64, f *mem.Frame, flags Flags) error {
 	}
 	as.st.IncRef(f)
 	e.frame = f
-	e.flags = flags | FlagPresent
+	e.flags = (flags &^ flagDirtyListed) | FlagPresent | listed
 	return nil
 }
 
@@ -320,16 +410,24 @@ func (as *AddressSpace) Unmap(va uint64) error {
 	if e.frame == nil {
 		return ErrNotMapped
 	}
+	if e.flags&flagDirtyListed != 0 {
+		for i, d := range as.dirty {
+			if d == va {
+				as.dirty[i] = as.dirty[len(as.dirty)-1]
+				as.dirty = as.dirty[:len(as.dirty)-1]
+				break
+			}
+		}
+	}
 	as.st.DecRef(e.frame)
 	*e = entry{}
 	as.mapped--
-	delete(as.dirty, va)
 	return nil
 }
 
 // Translate returns the frame and flags mapped at va's page, or ok=false.
 // It does not set the accessed bit (use Load/Store for access
-// semantics).
+// semantics). The software dirty-list bookkeeping bit is masked out.
 func (as *AddressSpace) Translate(va uint64) (*mem.Frame, Flags, bool) {
 	pt, err := as.walk(PageBase(va), false)
 	if err != nil || pt == nil {
@@ -339,7 +437,7 @@ func (as *AddressSpace) Translate(va uint64) (*mem.Frame, Flags, bool) {
 	if e.frame == nil {
 		return nil, 0, false
 	}
-	return e.frame, e.flags, true
+	return e.frame, e.flags &^ flagDirtyListed, true
 }
 
 // Load copies memory at va into dst, crossing page boundaries as
@@ -431,9 +529,16 @@ func (as *AddressSpace) faultForWrite(va uint64) (*mem.Frame, error) {
 	if as.frozen {
 		panic("pagetable: store to frozen address space")
 	}
-	pt, err := as.walk(va, true)
-	if err != nil {
-		return nil, err
+	var pt *node
+	if as.cacheOK && va&^spanMask == as.cacheBase {
+		pt = as.cachePT
+	} else {
+		var err error
+		pt, err = as.walk(va, true)
+		if err != nil {
+			return nil, err
+		}
+		as.cacheBase, as.cachePT, as.cacheOK = va&^spanMask, pt, true
 	}
 	e := &pt.entries[index(va, 0)]
 	switch {
@@ -461,34 +566,95 @@ func (as *AddressSpace) faultForWrite(va uint64) (*mem.Frame, error) {
 	case e.flags&FlagWritable == 0:
 		return nil, fmt.Errorf("pagetable: write protection fault at %#x", va)
 	}
-	e.flags |= FlagDirty | FlagAccessed
-	as.dirty[va] = struct{}{}
+	if e.flags&flagDirtyListed == 0 {
+		as.dirty = append(as.dirty, va)
+	}
+	e.flags |= FlagDirty | FlagAccessed | flagDirtyListed
 	return e.frame, nil
+}
+
+// CloneRange eagerly resolves every present CoW mapping in
+// [va, va+size): the bulk/prefetch-resolve path. A burst of anticipated
+// writes on one PT node privatizes the node (and its path) once instead
+// of once per fault, and absent subtrees are skipped wholesale. Pages
+// are made privately writable but NOT marked dirty — their content
+// still equals the backing snapshot's, so the next capture correctly
+// excludes them; the first real store sets the D bit as usual.
+// Demand-zero and already-writable pages are left untouched. Returns
+// the number of pages cloned.
+func (as *AddressSpace) CloneRange(va uint64, size uint64) (int, error) {
+	if as.frozen {
+		panic("pagetable: CloneRange on frozen address space")
+	}
+	if size == 0 {
+		return 0, nil
+	}
+	end := va + size
+	cloned := 0
+	for p := PageBase(va); p < end; {
+		spanEnd := (p | spanMask) + 1
+		// Probe first: an absent subtree costs one read-only walk, not
+		// 512 build-walks.
+		probe, err := as.walk(p, false)
+		if err != nil {
+			return cloned, err
+		}
+		if probe == nil {
+			p = spanEnd
+			continue
+		}
+		pt, err := as.walk(p, true) // privatize the path once for the whole span
+		if err != nil {
+			return cloned, err
+		}
+		for ; p < end && p < spanEnd; p += mem.PageSize {
+			e := &pt.entries[index(p, 0)]
+			if e.frame == nil || e.flags&FlagCoW == 0 || e.flags&FlagWritable != 0 {
+				continue
+			}
+			f, err := as.st.Clone(e.frame)
+			if err != nil {
+				return cloned, err
+			}
+			as.st.DecRef(e.frame)
+			e.frame = f
+			e.flags = (e.flags &^ FlagCoW) | FlagWritable
+			as.Faults.CoW++
+			cloned++
+		}
+	}
+	return cloned, nil
 }
 
 // DirtyPages returns the sorted page-base addresses written since
 // creation or the last ClearDirty — the set snapshot capture clones.
 func (as *AddressSpace) DirtyPages() []uint64 {
-	out := make([]uint64, 0, len(as.dirty))
-	for va := range as.dirty {
-		out = append(out, va)
-	}
+	out := make([]uint64, len(as.dirty))
+	copy(out, as.dirty)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// AppendDirtyPages appends the dirty page-base addresses to dst
+// (unsorted, insertion order) and returns it — the allocation-free
+// variant of DirtyPages for callers that bring their own storage.
+func (as *AddressSpace) AppendDirtyPages(dst []uint64) []uint64 {
+	return append(dst, as.dirty...)
 }
 
 // DirtyCount returns the number of dirty pages without copying the list.
 func (as *AddressSpace) DirtyCount() int { return len(as.dirty) }
 
 // ClearDirty resets dirty tracking (hardware D bits and the software
-// list). Called after a snapshot capture.
+// list). Called after a snapshot capture. The list's storage is kept
+// for the next cycle.
 func (as *AddressSpace) ClearDirty() {
-	for va := range as.dirty {
+	for _, va := range as.dirty {
 		if pt, _ := as.walk(va, false); pt != nil {
-			pt.entries[index(va, 0)].flags &^= FlagDirty
+			pt.entries[index(va, 0)].flags &^= FlagDirty | flagDirtyListed
 		}
 	}
-	as.dirty = make(map[uint64]struct{})
+	as.dirty = as.dirty[:0]
 }
 
 // SetCoWAll downgrades every writable mapping to read-only CoW. Clone

@@ -30,6 +30,7 @@ func BenchmarkShardedThroughput(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				k := 0

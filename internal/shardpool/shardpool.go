@@ -49,7 +49,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -319,6 +318,24 @@ type request struct {
 	reply    chan response
 }
 
+// reqPool recycles request descriptors and their reply channels across
+// invocations — the front door's only steady-state allocations
+// otherwise. A request is recycled ONLY after its response has been
+// received: a request abandoned at shutdown may still get a late reply
+// from a draining shard, so it is never reused.
+var reqPool = sync.Pool{
+	New: func() interface{} { return &request{reply: make(chan response, 1)} },
+}
+
+func getRequest() *request { return reqPool.Get().(*request) }
+
+func putRequest(r *request) {
+	r.req = core.Request{}
+	r.stats = false
+	r.requeues = 0
+	reqPool.Put(r)
+}
+
 type response struct {
 	res    core.Result
 	err    error
@@ -413,7 +430,11 @@ func (p *Pool) hydrateShard(id int, memBytes int64, encoded map[string][]byte) (
 	st := mem.NewStore(memBytes)
 	snaps := make(map[string]*snapshot.Snapshot, len(encoded))
 	for name, enc := range encoded {
-		diff, err := snapshot.Import(bytes.NewReader(enc))
+		// Zero-copy decode: the diff aliases enc, which outlives the
+		// Materialize below (it copies page bytes into the shard's own
+		// frames). N shards hydrate from one wire image without N
+		// intermediate copies.
+		diff, err := snapshot.ImportBytes(enc)
 		if err != nil {
 			return nil, fmt.Errorf("shardpool: shard %d: import %s: %w", id, name, err)
 		}
@@ -432,6 +453,10 @@ func (p *Pool) hydrateShard(id int, memBytes int64, encoded map[string][]byte) (
 	nodeCfg := p.cfg.Node
 	nodeCfg.MemoryBytes = memBytes
 	nodeCfg.Seed = p.cfg.Node.Seed + int64(id)
+	// Give each shard a private child tracer: records stay uncontended
+	// on the shard goroutine, and the caller's parent tracer still reads
+	// the merged timeline. A nil parent yields a nil child (no-op).
+	nodeCfg.Tracer = p.cfg.Node.Tracer.Child()
 	// One injector per shard, shared with its node: shard-level stalls
 	// and node-level crashes land in a single replayable per-shard
 	// trace, derived deterministically from the pool seed.
@@ -469,11 +494,17 @@ func (p *Pool) anyHealthy(except int) bool {
 	return false
 }
 
-// shardFor routes a key to its owner shard by FNV-1a hash.
+// shardFor routes a key to its owner shard by FNV-1a hash, computed
+// inline over the string so the front door does not allocate a hasher
+// and a byte-slice copy per request. Constants and routing match
+// hash/fnv's 32-bit FNV-1a exactly.
 func (p *Pool) shardFor(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(p.shards)))
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(p.shards)))
 }
 
 // OwnerShard exposes the routing decision (tests, instrumentation).
@@ -644,14 +675,19 @@ func (p *Pool) await(r *request) (response, error) {
 // Invoke services one invocation through the pool and reports where it
 // ran. Safe for concurrent use from any number of goroutines.
 func (p *Pool) Invoke(req core.Request) (Result, error) {
-	r := &request{req: req, reply: make(chan response, 1)}
+	r := getRequest()
+	r.req = req
 	if err := p.submit(r, p.shardFor(req.Key)); err != nil {
+		// Rejected before enqueue: safe to recycle.
+		putRequest(r)
 		return Result{}, err
 	}
 	resp, err := p.await(r)
 	if err != nil {
+		// Abandoned in a queue at shutdown — never recycled (see reqPool).
 		return Result{}, err
 	}
+	putRequest(r)
 	if resp.err != nil {
 		return Result{Shard: resp.shard, Stolen: resp.stolen}, resp.err
 	}
@@ -677,14 +713,17 @@ func (p *Pool) ShardStats(shard int) (ShardStats, error) {
 	if shard < 0 || shard >= len(p.shards) {
 		return ShardStats{}, fmt.Errorf("shardpool: no shard %d", shard)
 	}
-	r := &request{stats: true, reply: make(chan response, 1)}
+	r := getRequest()
+	r.stats = true
 	if err := p.submit(r, shard); err != nil {
+		putRequest(r)
 		return ShardStats{}, err
 	}
 	resp, err := p.await(r)
 	if err != nil {
 		return ShardStats{}, err
 	}
+	putRequest(r)
 	return resp.stats, nil
 }
 
@@ -696,24 +735,27 @@ func (p *Pool) ShardStats(shard int) (ShardStats, error) {
 func (p *Pool) Stats() (Stats, error) {
 	// Fan the control reads out so one busy shard does not serialize
 	// the whole scrape.
-	replies := make([]chan response, len(p.shards))
+	reqs := make([]*request, len(p.shards))
 	for i := range p.shards {
-		r := &request{stats: true, reply: make(chan response, 1)}
+		r := getRequest()
+		r.stats = true
 		if err := p.submit(r, i); err != nil {
+			putRequest(r)
 			return Stats{}, err
 		}
-		replies[i] = r.reply
+		reqs[i] = r
 	}
 	var out Stats
 	out.Stolen = p.stolen.Load()
 	out.Rerouted = p.rerouted.Load()
 	out.Requeued = p.requeued.Load()
 	out.Stalls = p.stalls.Load()
-	for _, ch := range replies {
-		resp, err := p.await(&request{reply: ch})
+	for _, r := range reqs {
+		resp, err := p.await(r)
 		if err != nil {
 			return Stats{}, err
 		}
+		putRequest(r)
 		ss := resp.stats
 		out.Shards = append(out.Shards, ss)
 		out.Node.Add(ss.Node)

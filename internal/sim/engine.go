@@ -90,7 +90,15 @@ type Engine struct {
 	seq     uint64
 	procs   int // live processes (for leak detection)
 	running bool
+	// free recycles event descriptors: the scheduling hot path (every
+	// Sleep, every queue wakeup) reuses a popped descriptor instead of
+	// allocating one per event.
+	free []*event
 }
+
+// maxFreeEvents bounds the recycled-descriptor list; beyond it, retired
+// events are left to the GC.
+const maxFreeEvents = 1024
 
 // NewEngine returns an engine with the clock at zero and no pending
 // events.
@@ -109,7 +117,16 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
+	heap.Push(&e.pq, ev)
 }
 
 // After schedules fn to run d after the current virtual time. Negative
@@ -129,7 +146,14 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.pq).(*event)
 	e.now = ev.at
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running: fn may schedule (and thus reuse the
+	// descriptor) immediately.
+	ev.fn = nil
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
+	fn()
 	return true
 }
 

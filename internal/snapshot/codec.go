@@ -1,7 +1,6 @@
 package snapshot
 
 import (
-	"bytes"
 	"encoding"
 	"encoding/binary"
 	"errors"
@@ -42,9 +41,33 @@ const codecVersion = 1
 // ErrCodec is wrapped by all decode failures.
 var ErrCodec = errors.New("snapshot: codec")
 
+// crcWriter streams bytes to an io.Writer while folding them into a
+// running CRC32 — the encode side never builds an intermediate copy of
+// the image. Errors are sticky so the encoder can write unconditionally
+// and check once.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	err error
+}
+
+func (c *crcWriter) write(b []byte) {
+	if c.err != nil {
+		return
+	}
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, b)
+	_, c.err = c.w.Write(b)
+}
+
 // Export serializes the snapshot's diff relative to its base: its name,
 // lineage, registers, and every dirty page (address plus content for
 // materialized pages; zero pages travel as one byte).
+//
+// The encode is zero-copy: page bytes stream straight from the frames'
+// live buffers into w with the CRC computed on the fly, instead of
+// staging the whole image (plus a per-page scratch copy) in an
+// intermediate buffer. The wire bytes are identical to the buffered
+// encoder this replaces.
 //
 // The diff page set is reconstructed by comparing the snapshot's leaf
 // frames against its base's: a page belongs to the diff iff the two
@@ -53,26 +76,38 @@ func (s *Snapshot) Export(w io.Writer) error {
 	if s.deleted {
 		return fmt.Errorf("%w: export of deleted snapshot", ErrCodec)
 	}
-	var buf bytes.Buffer
-	buf.WriteString(codecMagic)
-	writeU16 := func(v uint16) { binary.Write(&buf, binary.LittleEndian, v) }
-	writeU16(codecVersion)
-	writeU16(0)
-	writeString := func(str string) {
-		writeU16(uint16(len(str)))
-		buf.WriteString(str)
+	cw := &crcWriter{w: w}
+	var scratch [8]byte
+	putU16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(scratch[:2], v)
+		cw.write(scratch[:2])
 	}
-	writeString(s.name)
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		cw.write(scratch[:4])
+	}
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		cw.write(scratch[:8])
+	}
+	putString := func(str string) {
+		putU16(uint16(len(str)))
+		cw.write([]byte(str))
+	}
+	cw.write([]byte(codecMagic))
+	putU16(codecVersion)
+	putU16(0)
+	putString(s.name)
 	baseName := ""
 	if s.base != nil {
 		baseName = s.base.name
 	}
-	writeString(baseName)
-	binary.Write(&buf, binary.LittleEndian, s.regs.PC)
-	binary.Write(&buf, binary.LittleEndian, s.regs.SP)
-	binary.Write(&buf, binary.LittleEndian, s.regs.Flags)
+	putString(baseName)
+	putU64(s.regs.PC)
+	putU64(s.regs.SP)
+	putU64(s.regs.Flags)
 	for _, g := range s.regs.GPR {
-		binary.Write(&buf, binary.LittleEndian, g)
+		putU64(g)
 	}
 
 	var payloadBytes []byte
@@ -83,24 +118,27 @@ func (s *Snapshot) Export(w io.Writer) error {
 		}
 		payloadBytes = pb
 	}
-	binary.Write(&buf, binary.LittleEndian, uint32(len(payloadBytes)))
-	buf.Write(payloadBytes)
+	putU32(uint32(len(payloadBytes)))
+	cw.write(payloadBytes)
 
 	pages := s.diffPageSet()
-	binary.Write(&buf, binary.LittleEndian, uint32(len(pages)))
-	content := make([]byte, mem.PageSize)
+	putU32(uint32(len(pages)))
 	for _, pg := range pages {
-		binary.Write(&buf, binary.LittleEndian, pg.va)
-		if pg.frame.Materialized() {
-			buf.WriteByte(1)
-			pg.frame.Read(0, content)
-			buf.Write(content)
+		putU64(pg.va)
+		if content := pg.frame.Bytes(); content != nil {
+			scratch[0] = 1
+			cw.write(scratch[:1])
+			cw.write(content) // straight from the frame, no copy
 		} else {
-			buf.WriteByte(0)
+			scratch[0] = 0
+			cw.write(scratch[:1])
 		}
 	}
-	binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(buf.Bytes()))
-	_, err := w.Write(buf.Bytes())
+	if cw.err != nil {
+		return cw.err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], cw.crc)
+	_, err := w.Write(scratch[:4])
 	return err
 }
 
@@ -177,12 +215,70 @@ func (d *ImportedDiff) WireBytes() int64 {
 	return n
 }
 
-// Import decodes an exported diff.
+// Import decodes an exported diff from a stream. The bytes are read
+// fully and decoded with ImportBytes; callers that already hold the
+// encoded image in memory should call ImportBytes directly and skip
+// this copy.
 func Import(r io.Reader) (*ImportedDiff, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
 	}
+	return ImportBytes(raw)
+}
+
+// importCursor is a bounds-checked offset reader over the encoded body;
+// errors are sticky.
+type importCursor struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (c *importCursor) take(n int) []byte {
+	if c.bad || n < 0 || len(c.b)-c.off < n {
+		c.bad = true
+		return nil
+	}
+	out := c.b[c.off : c.off+n : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *importCursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (c *importCursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *importCursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// ImportBytes decodes an exported diff without copying page contents:
+// the returned diff's Contents (and PayloadBytes) alias subslices of
+// raw. raw must remain live and unmodified for as long as the diff is
+// in use — the usual pattern (shard hydration, diff grafting) decodes
+// and immediately materializes into frames, which copies.
+//
+// This is the decode half of the zero-copy codec: a shard hydrating
+// from an encoded base image no longer duplicates the whole image into
+// per-page buffers before writing it into frames.
+func ImportBytes(raw []byte) (*ImportedDiff, error) {
 	if len(raw) < 12 {
 		return nil, fmt.Errorf("%w: truncated", ErrCodec)
 	}
@@ -190,70 +286,65 @@ func Import(r io.Reader) (*ImportedDiff, error) {
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCodec)
 	}
-	buf := bytes.NewReader(body)
-	magic := make([]byte, 4)
-	io.ReadFull(buf, magic)
-	if string(magic) != codecMagic {
+	cur := &importCursor{b: body}
+	if magic := cur.take(4); magic == nil || string(magic) != codecMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCodec, magic)
 	}
-	var version, flags uint16
-	binary.Read(buf, binary.LittleEndian, &version)
-	binary.Read(buf, binary.LittleEndian, &flags)
+	version := cur.u16()
+	cur.u16() // flags (reserved)
+	if cur.bad {
+		return nil, fmt.Errorf("%w: truncated header", ErrCodec)
+	}
 	if version != codecVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
 	}
-	readString := func() (string, error) {
-		var n uint16
-		if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
-			return "", err
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(buf, b); err != nil {
-			return "", err
-		}
-		return string(b), nil
-	}
+	readString := func() string { return string(cur.take(int(cur.u16()))) }
 	out := &ImportedDiff{Contents: make(map[uint64][]byte)}
-	if out.Header.Name, err = readString(); err != nil {
-		return nil, fmt.Errorf("%w: name: %v", ErrCodec, err)
+	out.Header.Name = readString()
+	if cur.bad {
+		return nil, fmt.Errorf("%w: name: truncated", ErrCodec)
 	}
-	if out.Header.BaseName, err = readString(); err != nil {
-		return nil, fmt.Errorf("%w: base: %v", ErrCodec, err)
+	out.Header.BaseName = readString()
+	if cur.bad {
+		return nil, fmt.Errorf("%w: base: truncated", ErrCodec)
 	}
-	binary.Read(buf, binary.LittleEndian, &out.Header.Regs.PC)
-	binary.Read(buf, binary.LittleEndian, &out.Header.Regs.SP)
-	binary.Read(buf, binary.LittleEndian, &out.Header.Regs.Flags)
+	out.Header.Regs.PC = cur.u64()
+	out.Header.Regs.SP = cur.u64()
+	out.Header.Regs.Flags = cur.u64()
 	for i := range out.Header.Regs.GPR {
-		binary.Read(buf, binary.LittleEndian, &out.Header.Regs.GPR[i])
+		out.Header.Regs.GPR[i] = cur.u64()
 	}
-	var plen uint32
-	if err := binary.Read(buf, binary.LittleEndian, &plen); err != nil {
-		return nil, fmt.Errorf("%w: payload length: %v", ErrCodec, err)
+	plen := cur.u32()
+	if cur.bad {
+		return nil, fmt.Errorf("%w: payload length: truncated", ErrCodec)
 	}
 	if plen > 0 {
-		out.PayloadBytes = make([]byte, plen)
-		if _, err := io.ReadFull(buf, out.PayloadBytes); err != nil {
-			return nil, fmt.Errorf("%w: payload: %v", ErrCodec, err)
+		out.PayloadBytes = cur.take(int(plen))
+		if cur.bad {
+			return nil, fmt.Errorf("%w: payload: truncated", ErrCodec)
 		}
 	}
-	var npages uint32
-	if err := binary.Read(buf, binary.LittleEndian, &npages); err != nil {
-		return nil, fmt.Errorf("%w: page count: %v", ErrCodec, err)
+	npages := cur.u32()
+	if cur.bad {
+		return nil, fmt.Errorf("%w: page count: truncated", ErrCodec)
 	}
+	// Each page costs at least 9 bytes on the wire; reject counts the
+	// remaining body cannot possibly hold before allocating for them.
+	if int64(npages)*9 > int64(len(body)-cur.off) {
+		return nil, fmt.Errorf("%w: page count %d exceeds body", ErrCodec, npages)
+	}
+	out.PageVAs = make([]uint64, 0, npages)
 	for i := uint32(0); i < npages; i++ {
-		var va uint64
-		if err := binary.Read(buf, binary.LittleEndian, &va); err != nil {
-			return nil, fmt.Errorf("%w: page %d: %v", ErrCodec, i, err)
-		}
-		has := make([]byte, 1)
-		if _, err := io.ReadFull(buf, has); err != nil {
-			return nil, fmt.Errorf("%w: page %d flag: %v", ErrCodec, i, err)
+		va := cur.u64()
+		has := cur.take(1)
+		if cur.bad {
+			return nil, fmt.Errorf("%w: page %d: truncated", ErrCodec, i)
 		}
 		out.PageVAs = append(out.PageVAs, va)
 		if has[0] == 1 {
-			content := make([]byte, mem.PageSize)
-			if _, err := io.ReadFull(buf, content); err != nil {
-				return nil, fmt.Errorf("%w: page %d content: %v", ErrCodec, i, err)
+			content := cur.take(mem.PageSize)
+			if cur.bad {
+				return nil, fmt.Errorf("%w: page %d content: truncated", ErrCodec, i)
 			}
 			out.Contents[va] = content
 		}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -58,14 +59,37 @@ type Event struct {
 // reading are serialized by an internal mutex. Event timestamps are
 // whatever virtual clock the recorder read — in a pool, events from
 // different shards interleave on their own per-shard clocks.
+//
+// For a sharded recorder, prefer one Child per shard: each child has a
+// private buffer (its mutex is never contended when only its shard
+// records to it), and the parent's readers see the union.
 type Tracer struct {
 	mu     sync.Mutex
 	events []Event
 	max    int
+	// children are per-shard sub-tracers; readers merge them in.
+	children []*Tracer
 }
 
 // New returns a tracer retaining at most max events (0 = unlimited).
 func New(max int) *Tracer { return &Tracer{max: max} }
+
+// Child returns a tracer recording into a private buffer while the
+// parent's readers (Events, Len, ByKind, writers) see the union of the
+// parent's own events and every child's. One child per shard keeps the
+// record path contention-free — a child's mutex is only ever taken by
+// its shard goroutine and by readers. Safe on a nil tracer (returns a
+// nil child, which records nothing).
+func (t *Tracer) Child() *Tracer {
+	if t == nil {
+		return nil
+	}
+	c := New(t.max)
+	t.mu.Lock()
+	t.children = append(t.children, c)
+	t.mu.Unlock()
+	return c
+}
 
 // Record appends an event. Safe on a nil tracer.
 func (t *Tracer) Record(ev Event) {
@@ -85,26 +109,41 @@ func (t *Tracer) Span(kind Kind, key, path string, at, dur time.Duration) {
 	t.Record(Event{At: at, Dur: dur, Kind: kind, Key: key, Path: path})
 }
 
-// Events returns the recorded events in order.
+// Events returns the recorded events. A tracer with children returns
+// the merged union ordered by virtual timestamp (children run on
+// independent clocks, so timestamp order is the only meaningful one);
+// a leaf tracer returns its events in record order.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
+	children := t.children
+	t.mu.Unlock()
+	for _, c := range children {
+		out = append(out, c.Events()...)
+	}
+	if len(children) > 0 {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	}
 	return out
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of recorded events, including children's.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.events)
+	n := len(t.events)
+	children := t.children
+	t.mu.Unlock()
+	for _, c := range children {
+		n += c.Len()
+	}
+	return n
 }
 
 // ByKind returns the events of one kind.

@@ -87,3 +87,61 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Error("lanes collided")
 	}
 }
+
+func TestChildMergesIntoParent(t *testing.T) {
+	parent := New(0)
+	parent.Record(Event{At: 5 * time.Millisecond, Kind: KindReclaim})
+	c1 := parent.Child()
+	c2 := parent.Child()
+	c1.Span(KindInvoke, "a", "cold", 1*time.Millisecond, time.Millisecond)
+	c2.Span(KindInvoke, "b", "hot", 3*time.Millisecond, time.Millisecond)
+	c1.Record(Event{At: 9 * time.Millisecond, Kind: KindEvict, Key: "a"})
+
+	if parent.Len() != 4 {
+		t.Fatalf("parent.Len() = %d, want 4", parent.Len())
+	}
+	evs := parent.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events()) = %d, want 4", len(evs))
+	}
+	// Merged view is ordered by virtual timestamp across children.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of timestamp order: %v after %v", evs[i].At, evs[i-1].At)
+		}
+	}
+	if evs[0].Key != "a" || evs[1].Key != "b" || evs[3].Kind != KindEvict {
+		t.Errorf("merged order wrong: %+v", evs)
+	}
+	if got := len(parent.ByKind(KindInvoke)); got != 2 {
+		t.Errorf("ByKind(invoke) across children = %d, want 2", got)
+	}
+
+	// Children are independent leaves: each sees only its own events.
+	if c1.Len() != 2 || c2.Len() != 1 {
+		t.Errorf("child lens = %d, %d; want 2, 1", c1.Len(), c2.Len())
+	}
+}
+
+func TestChildOfNilTracer(t *testing.T) {
+	var tr *Tracer
+	c := tr.Child()
+	if c != nil {
+		t.Fatal("nil tracer returned non-nil child")
+	}
+	c.Record(Event{Kind: KindDeploy}) // must not panic
+	if c.Len() != 0 {
+		t.Error("nil child recorded")
+	}
+}
+
+func TestChildInheritsCap(t *testing.T) {
+	parent := New(2)
+	c := parent.Child()
+	for i := 0; i < 5; i++ {
+		c.Record(Event{At: time.Duration(i), Kind: KindInvoke})
+	}
+	if c.Len() != 2 {
+		t.Errorf("child retained %d events, want cap 2", c.Len())
+	}
+}

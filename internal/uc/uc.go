@@ -84,6 +84,9 @@ type UC struct {
 	// meta holds the kernel-side frames backing the UC descriptor,
 	// event-context stacks, and proxy mappings.
 	meta []*mem.Frame
+	// stub is the fallback hypercall host created when a caller passed
+	// nil, remembered so kit recycling does not rebuild it per deploy.
+	stub hypercall.Host
 }
 
 // allocMeta reserves the kernel-side frames for a live UC.
@@ -104,7 +107,8 @@ func (u *UC) freeMeta(st *mem.Store) {
 	for _, f := range u.meta {
 		st.DecRef(f)
 	}
-	u.meta = nil
+	// Keep the slice's capacity: a recycled kit refills it on redeploy.
+	u.meta = u.meta[:0]
 }
 
 // nextID is process-global so UC identifiers stay unique across the
@@ -131,7 +135,7 @@ func BootFreshProfile(st *mem.Store, host hypercall.Host, env libos.Env, prof in
 		id:    nextID.Add(1),
 		space: space,
 		env:   env,
-		host:  hypercall.NewCounter(hostOrStub(host), costs.Hypercall, env.ChargeCPU),
+		host:  hypercall.NewCounter(hostOrStub(host), costs.Hypercall, env),
 		state: StateRunning,
 	}
 	if err := u.allocMeta(st); err != nil {
@@ -161,6 +165,13 @@ func BootFreshProfile(st *mem.Store, host hypercall.Host, env libos.Env, prof in
 // Deploy creates a UC from a snapshot: the shallow page-table copy,
 // core mapping, TLB flush, and register restore of §6, followed by
 // rehydration of the guest stack from the snapshot's payload.
+//
+// When the snapshot holds a retired deploy kit — a UC destroyed while
+// its interpreter state still equaled the payload — the guest stack is
+// rebound instead of rebuilt, skipping the Go-level rehydration replay
+// entirely. On real hardware that replay does not exist (the state
+// arrives inside the memory image), so the fast path is also the more
+// faithful one.
 func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, error) {
 	env.ChargeCPU(costs.UCDeploy)
 	space, regs, err := snap.Deploy()
@@ -173,14 +184,26 @@ func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, e
 		snap.ReleaseUC()
 		return nil, fmt.Errorf("uc: snapshot %q has no guest payload", snap.Name())
 	}
+	if kit, _ := snap.TakeDeployKit().(*UC); kit != nil {
+		if err := kit.redeploy(snap, space, regs, payload, host, env); err != nil {
+			space.Release()
+			snap.ReleaseUC()
+			return nil, err
+		}
+		return kit, nil
+	}
+	inner := hostOrStub(host)
 	u := &UC{
 		id:    nextID.Add(1),
 		space: space,
 		from:  snap,
 		env:   env,
-		host:  hypercall.NewCounter(hostOrStub(host), costs.Hypercall, env.ChargeCPU),
+		host:  hypercall.NewCounter(inner, costs.Hypercall, env),
 		regs:  regs,
 		state: StateIdle,
+	}
+	if host == nil {
+		u.stub = inner
 	}
 	if err := u.allocMeta(space.Backing()); err != nil {
 		space.Release()
@@ -206,6 +229,42 @@ func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, e
 	}
 	u.guest = rt
 	return u, nil
+}
+
+// redeploy rebinds a retired deploy kit to a fresh deployment: new
+// address space, new environment, clean hypercall accounting, guest
+// metadata reset from the payload. The interpreter replay is skipped —
+// the kit was only cached because its interpreter state still equals
+// the payload. Runs allocation-free in steady state.
+func (u *UC) redeploy(snap *snapshot.Snapshot, space *pagetable.AddressSpace, regs snapshot.Registers, payload Payload, host hypercall.Host, env libos.Env) error {
+	u.id = nextID.Add(1)
+	u.space = space
+	u.from = snap
+	u.env = env
+	u.regs = regs
+	u.state = StateIdle
+	inner := host
+	if inner == nil {
+		if u.stub == nil {
+			u.stub = hypercall.NewStubHost()
+		}
+		inner = u.stub
+	}
+	u.host.Reset(inner, env)
+	if err := u.allocMeta(space.Backing()); err != nil {
+		u.state = StateDestroyed
+		return err
+	}
+	uk := u.guest.Unikernel()
+	uk.Reattach(space, u.host, env)
+	uk.Rehydrate(payload.Libos)
+	u.guest.ResetForRedeploy(payload.Interp, snap.DiffPages())
+	if err := uk.Resume(); err != nil {
+		u.freeMeta(space.Backing())
+		u.state = StateDestroyed
+		return err
+	}
+	return nil
 }
 
 func hostOrStub(h hypercall.Host) hypercall.Host {
@@ -269,6 +328,11 @@ func (u *UC) Capture(name string, triggerPC uint64) (*snapshot.Snapshot, error) 
 
 // Destroy tears the UC down, releasing its address space and its
 // reference on the deploy source.
+//
+// If the guest never ran anything since rehydration — its interpreter
+// state still equals the deploy source's payload — the UC retires into
+// the snapshot's deploy-kit cache instead of being dropped for the GC,
+// and the next Deploy from that snapshot rebinds it allocation-free.
 func (u *UC) Destroy() {
 	if u.state == StateDestroyed {
 		return
@@ -276,10 +340,19 @@ func (u *UC) Destroy() {
 	u.env.ChargeCPU(costs.UCDestroy)
 	u.freeMeta(u.space.Backing())
 	u.space.Release()
-	if u.from != nil {
-		u.from.ReleaseUC()
+	from := u.from
+	if from != nil {
+		from.ReleaseUC()
 	}
 	u.state = StateDestroyed
+	if from != nil && u.guest != nil && u.guest.Pristine() {
+		// Drop references that must not outlive this incarnation; the
+		// kit keeps only the guest stack and its own recycled storage.
+		u.space = nil
+		u.from = nil
+		u.env = nil
+		from.CacheDeployKit(u)
+	}
 }
 
 // FootprintBytes returns the UC's private memory cost: pages its faults

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmarks and compare them to the
+# committed baseline (BENCH_hotpath.json).
+#
+#   scripts/bench.sh record   re-run the benchmarks and rewrite the
+#                             baseline's "benchmarks" table
+#   scripts/bench.sh gate     re-run the benchmarks and FAIL if any
+#                             benchmark regressed >30% in ns/op, if a
+#                             zero-alloc benchmark allocates at all, or
+#                             if a non-zero-alloc benchmark grew >30%
+#                             in allocs/op
+#
+# The gate covers the wall-clock hot path: deploy, snapshot capture,
+# page-fault resolution, and end-to-end sharded throughput (the
+# shards=1 sub-benchmark, so shard-count changes don't move the
+# goalposts). Keeping it in CI is what makes "allocation-free" a
+# property instead of a one-time measurement.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE="${1:-gate}"
+BASELINE="${2:-BENCH_hotpath.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== running hot-path benchmarks (this takes ~15s)" >&2
+go test -run '^$' -count=1 \
+  -bench 'BenchmarkUCDeployRealTime$|BenchmarkSnapshotCaptureRealTime$|BenchmarkPageFaultRealTime$' \
+  -benchmem . | tee -a "$RAW" >&2
+go test -run '^$' -count=1 \
+  -bench 'BenchmarkShardedThroughput/shards=1$' \
+  -benchmem ./internal/shardpool | tee -a "$RAW" >&2
+
+python3 - "$MODE" "$BASELINE" "$RAW" <<'PY'
+import json, re, sys
+
+mode, baseline_path, raw_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+# "BenchmarkFoo/sub=1-8  1234  567 ns/op  [custom metrics]  8 B/op  9 allocs/op"
+line = re.compile(
+    r'^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op.*?([\d.]+) B/op\s+(\d+) allocs/op')
+current = {}
+for l in open(raw_path):
+    m = line.match(l)
+    if m:
+        current[m.group(1)] = {
+            "ns_per_op": float(m.group(2)),
+            "allocs_per_op": int(m.group(4)),
+        }
+
+if not current:
+    sys.exit("bench.sh: no benchmark results parsed — did the build fail?")
+
+if mode == "record":
+    try:
+        doc = json.load(open(baseline_path))
+    except FileNotFoundError:
+        doc = {}
+    doc["benchmarks"] = current
+    with open(baseline_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"recorded {len(current)} benchmarks to {baseline_path}")
+    sys.exit(0)
+
+doc = json.load(open(baseline_path))
+base = doc["benchmarks"]
+failures = []
+for name, b in sorted(base.items()):
+    c = current.get(name)
+    if c is None:
+        failures.append(f"{name}: benchmark missing from current run")
+        continue
+    limit = b["ns_per_op"] * 1.30
+    verdict = "ok"
+    if c["ns_per_op"] > limit:
+        failures.append(
+            f"{name}: {c['ns_per_op']:.0f} ns/op exceeds 130% of "
+            f"baseline {b['ns_per_op']:.0f} ns/op")
+        verdict = "FAIL time"
+    if b["allocs_per_op"] == 0:
+        if c["allocs_per_op"] > 0:
+            failures.append(
+                f"{name}: {c['allocs_per_op']} allocs/op on a "
+                f"zero-alloc benchmark")
+            verdict = "FAIL allocs"
+    elif c["allocs_per_op"] > b["allocs_per_op"] * 1.30:
+        failures.append(
+            f"{name}: {c['allocs_per_op']} allocs/op exceeds 130% of "
+            f"baseline {b['allocs_per_op']}")
+        verdict = "FAIL allocs"
+    print(f"  {name}: {c['ns_per_op']:.0f} ns/op (base {b['ns_per_op']:.0f}), "
+          f"{c['allocs_per_op']} allocs/op (base {b['allocs_per_op']}) [{verdict}]")
+
+if failures:
+    print("\nbench gate FAILED:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("\nbench gate passed")
+PY
