@@ -21,14 +21,21 @@
 //	  "args": {"name": "world"}
 //	}'
 //
-// The response carries the driver's output plus the path taken (cold,
-// warm, hot), the serving shard, and the shard-side virtual latency.
+// The response carries the driver's output plus a process-unique
+// request ID, the path taken (cold, warm, hot), the serving shard, and
+// the shard-side virtual latency.
 // GET /stats reports pool-aggregated caches and counters (each shard's
 // contribution snapshotted between invocations, never mid-flight),
 // including the robustness ledger — retries, breaker trips, UC
-// crashes, pressure degradations. GET /healthz reports liveness plus
+// crashes, pressure degradations. GET /metrics serves the same data as
+// Prometheus text exposition — invocation-latency histograms split by
+// cold/warm/hot, cache hit/miss counters, breaker transitions, trace
+// drop accounting — read from lock-free per-shard recorders (a scrape
+// never waits behind a busy shard). GET /healthz reports liveness plus
 // every shard's circuit-breaker state ("ok" when all breakers are
-// closed, "degraded" otherwise). Errors are JSON on every endpoint.
+// closed, "degraded" otherwise). GET /trace exports the event timeline
+// as Chrome trace-event JSON; /trace?follow=1 streams new events live
+// as chunked JSONL. Errors are JSON on every endpoint.
 //
 // The server shuts down gracefully: SIGINT/SIGTERM stop the listener,
 // drain in-flight invocations (bounded by a 30 s grace period), and
@@ -46,6 +53,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
@@ -71,6 +79,7 @@ type invokeRequest struct {
 }
 
 type invokeResponse struct {
+	RequestID uint64          `json:"request_id"`
 	Path      string          `json:"path"`
 	Shard     int             `json:"shard"`
 	Stolen    bool            `json:"stolen,omitempty"`
@@ -127,6 +136,7 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, invokeResponse{
+		RequestID: inv.RequestID,
 		Path:      inv.Path,
 		Shard:     inv.Shard,
 		Stolen:    inv.Stolen,
@@ -211,9 +221,37 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleTrace serves the pool's event timeline in Chrome trace-event
-// format — load it at chrome://tracing or ui.perfetto.dev. Events from
-// different shards interleave on their own per-shard virtual clocks.
+// handleMetrics serves the pool's merged metrics snapshot in
+// Prometheus text exposition format, plus the trace buffer's retention
+// accounting. The scrape reads lock-free per-shard recorders — it
+// never waits behind a busy shard.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := seuss.WriteMetricsText(w, s.pool.Metrics()); err != nil {
+		return // client went away mid-write; headers are already out
+	}
+	if s.tracer != nil {
+		fmt.Fprintf(w, "# HELP seuss_trace_events Events currently retained in the trace buffer.\n"+
+			"# TYPE seuss_trace_events gauge\n"+
+			"seuss_trace_events %d\n", s.tracer.Len())
+		fmt.Fprintf(w, "# HELP seuss_trace_dropped_total Trace events dropped after the retention budget filled.\n"+
+			"# TYPE seuss_trace_dropped_total counter\n"+
+			"seuss_trace_dropped_total %d\n", s.tracer.Dropped())
+	}
+}
+
+// handleTrace serves the pool's event timeline. The default form is
+// Chrome trace-event JSON ({"traceEvents": [...], "otherData": {...}}
+// with drop accounting) streamed event by event — load it at
+// chrome://tracing or ui.perfetto.dev. With ?follow=1 it switches to a
+// live chunked JSONL feed of events as they are recorded (newline-
+// delimited trace.Event objects), until the client disconnects — so
+// the retained buffer is not the only window into a long run. Events
+// from different shards interleave on their own per-shard virtual
+// clocks.
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
@@ -222,9 +260,46 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "tracing disabled")
 		return
 	}
+	if r.URL.Query().Get("follow") == "1" {
+		s.followTrace(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.tracer.WriteChromeTrace(w); err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		// Mid-stream failure: the body is already partially written, so
+		// no JSON error envelope can follow it.
+		log.Printf("seuss-node: trace export: %v", err)
+	}
+}
+
+// followTrace streams newly recorded events as chunked JSONL until the
+// client goes away. Only events recorded after the subscription starts
+// are delivered; fetch /trace first for the retained history.
+func (s *server) followTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush() // commit headers so the client sees the stream open
+	}
+	ch, cancel := s.tracer.Subscribe(256)
+	defer cancel()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
 	}
 }
 
@@ -234,6 +309,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("/invoke", s.handleInvoke)
 	m.HandleFunc("/stats", s.handleStats)
 	m.HandleFunc("/healthz", s.handleHealthz)
+	m.HandleFunc("/metrics", s.handleMetrics)
 	m.HandleFunc("/trace", s.handleTrace)
 	return m
 }

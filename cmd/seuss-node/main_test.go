@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -103,6 +108,7 @@ func TestMethodEnforcement(t *testing.T) {
 		"/invoke":  http.MethodPost,
 		"/stats":   http.MethodGet,
 		"/healthz": http.MethodGet,
+		"/metrics": http.MethodGet,
 		"/trace":   http.MethodGet,
 	} {
 		wrong := http.MethodPost
@@ -289,12 +295,173 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var events []map[string]interface{}
-	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		OtherData   map[string]string        `json:"otherData"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		t.Fatal(err)
 	}
-	if len(events) == 0 {
+	if len(doc.TraceEvents) == 0 {
 		t.Error("empty trace after an invocation")
+	}
+	if doc.OtherData["dropped"] != "0" {
+		t.Errorf("otherData = %v", doc.OtherData)
+	}
+	// The invoke span carries the request ID returned by /invoke.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if args, ok := ev["args"].(map[string]interface{}); ok && args["id"] != nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no event carries a request id")
+	}
+}
+
+func TestTraceFollowStreamsLiveEvents(t *testing.T) {
+	cfg := seuss.PoolConfig{Shards: 2, Node: seuss.NodeDefaults()}
+	tracer := seuss.NewTrace(0)
+	cfg.Node.Tracer = tracer
+	pool, err := seuss.NewNodePool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	srv := &server{pool: pool, tracer: tracer}
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/trace?follow=1", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// An invocation issued after the stream opened must appear on it.
+	body := `{"key": "live/fn", "source": "function main(a) { return {}; }"}`
+	if _, err := http.Post(ts.URL+"/invoke", "application/json", strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawInvoke := false
+	for i := 0; i < 50 && sc.Scan(); i++ {
+		var ev map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if ev["kind"] == "invoke" {
+			sawInvoke = true
+			break
+		}
+	}
+	if !sawInvoke {
+		t.Error("follow stream carried no invoke span")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	cfg := seuss.PoolConfig{Shards: 2, Node: seuss.NodeDefaults()}
+	tracer := seuss.NewTrace(0)
+	cfg.Node.Tracer = tracer
+	pool, err := seuss.NewNodePool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	srv := &server{pool: pool, tracer: tracer}
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	body := `{"key": "m/fn", "source": "function main(a) { return {}; }"}`
+	http.Post(ts.URL+"/invoke", "application/json", strings.NewReader(body))
+	http.Post(ts.URL+"/invoke", "application/json", strings.NewReader(body))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`seuss_invocations_total{path="cold"} 1`,
+		`seuss_invocations_total{path="hot"} 1`,
+		`seuss_invocation_latency_seconds_bucket{path="cold",le="+Inf"} 1`,
+		`seuss_invocation_latency_seconds_count{path="cold"} 1`,
+		`seuss_snapshot_stack_lookups_total{result=`,
+		`seuss_deploy_kit_lookups_total{result=`,
+		"seuss_trace_events ",
+		"seuss_trace_dropped_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	validateExposition(t, text)
+}
+
+// validateExposition checks Prometheus text-format invariants: every
+// sample line's metric name is covered by a preceding TYPE header, no
+// family header repeats, and sample values parse as numbers.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+				continue
+			}
+			if _, dup := typed[parts[2]]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, parts[2])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: malformed sample: %q", ln+1, line)
+			continue
+		}
+		base := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(base, suffix); fam != base && typed[fam] == "histogram" {
+				base = fam
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Errorf("line %d: sample %q has no TYPE header", ln+1, m[1])
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			t.Errorf("line %d: value %q not a number", ln+1, m[3])
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"seuss/internal/costs"
@@ -44,6 +45,7 @@ import (
 	"seuss/internal/lang"
 	"seuss/internal/libos"
 	"seuss/internal/mem"
+	"seuss/internal/metrics"
 	"seuss/internal/netsim"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
@@ -122,6 +124,11 @@ type Config struct {
 	// fault points (see internal/fault). nil disables injection with
 	// zero overhead on the serving path.
 	Faults *fault.Injector
+	// Metrics, when non-nil, receives the node's pre-registered
+	// counters and latency histograms (see internal/metrics). Recording
+	// is atomic adds only — safe for the allocation-free hot path. nil
+	// disables collection at zero cost (nil-safe methods).
+	Metrics *metrics.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -448,6 +455,7 @@ func (e *env) HTTPGet(url string) (string, error) {
 	// absorbed, not failed — one retransmit timeout, then it proceeds.
 	if e.n.cfg.Faults.Fire(fault.PointProxyDrop) {
 		e.n.stats.FaultsInjected = faultsInjected(e.n.cfg.Faults)
+		e.n.cfg.Metrics.Inc(metrics.CtrFaultsInjected)
 		e.p.Sleep(costs.ExternalHTTPLatency)
 	}
 	e.p.Sleep(costs.ExternalHTTPLatency)
@@ -484,6 +492,10 @@ type Request struct {
 
 // Result is the node's reply.
 type Result struct {
+	// ID is the invocation's request ID: unique across every node in
+	// the process (one atomic sequence), carried on the invocation's
+	// trace span so a response correlates with its timeline events.
+	ID uint64
 	// Path records which invocation path served the request.
 	Path Path
 	// Output is the driver's JSON response.
@@ -493,32 +505,59 @@ type Result struct {
 	Latency time.Duration
 }
 
+// invokeSeq issues request IDs. Process-global (like uc.nextID) so IDs
+// stay unique across the shards of a pool, which each own a node.
+var invokeSeq atomic.Uint64
+
+// Per-path metric indices, so finish records without branching.
+var (
+	pathCounters = [...]metrics.Counter{
+		PathCold: metrics.CtrColdInvocations,
+		PathWarm: metrics.CtrWarmInvocations,
+		PathHot:  metrics.CtrHotInvocations,
+	}
+	pathHists = [...]metrics.Hist{
+		PathCold: metrics.HistColdLatency,
+		PathWarm: metrics.HistWarmLatency,
+		PathHot:  metrics.HistHotLatency,
+	}
+)
+
+// invokeError accounts one failed invocation.
+func (n *Node) invokeError() {
+	n.stats.Errors++
+	n.cfg.Metrics.Inc(metrics.CtrInvokeErrors)
+}
+
 // Invoke services one invocation inside the calling simulated process.
 func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 	start := n.eng.Now()
+	id := invokeSeq.Add(1)
 	n.reclaimIfNeeded(p)
 
 	// Hot path: an idle UC for this function.
 	if mu := n.takeIdle(req.Key); mu != nil {
+		n.cfg.Metrics.Inc(metrics.CtrIdleUCHits)
 		out, err := n.runOn(p, mu, req)
-		return n.finish(start, PathHot, out, err)
+		return n.finish(start, id, req.Key, PathHot, out, err)
 	}
 
 	// Warm path: deploy from the function snapshot.
 	if entry, ok := n.fnSnaps[req.Key]; ok {
+		n.cfg.Metrics.Inc(metrics.CtrSnapshotStackHits)
 		entry.last = n.eng.Now()
 		mu, err := n.deploy(p, entry.snap)
 		if err == nil {
 			if cerr := mu.u.Guest().Connect(); cerr != nil {
 				n.destroyUC(mu)
-				n.stats.Errors++
+				n.invokeError()
 				return Result{}, cerr
 			}
 			out, rerr := n.runOn(p, mu, req)
-			return n.finish(start, PathWarm, out, rerr)
+			return n.finish(start, id, req.Key, PathWarm, out, rerr)
 		}
 		if !errors.Is(err, ErrNodeSaturated) || req.Source == "" {
-			n.stats.Errors++
+			n.invokeError()
 			return Result{}, err
 		}
 		// Degradation ladder, level 3: the warm deploy cannot fit even
@@ -527,46 +566,59 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 		// much-shared base runtime image instead of failing it.
 		n.dropSnapshot(p, req.Key)
 		n.stats.PressureColdFallbacks++
+		n.cfg.Metrics.Inc(metrics.CtrPressureColdFallbacks)
 		n.cfg.Tracer.Record(trace.Event{
-			At: time.Duration(n.eng.Now()), Kind: trace.KindFault, Key: req.Key,
+			At: time.Duration(n.eng.Now()), Kind: trace.KindFault, ID: id, Key: req.Key,
 			Detail: "pressure: warm deploy saturated; serving cold",
 		})
+	} else {
+		n.cfg.Metrics.Inc(metrics.CtrSnapshotStackMisses)
 	}
 
 	// Cold path: deploy from the runtime snapshot, import and compile,
 	// capture the function snapshot, run.
 	base, err := n.runtimeSnapFor(req.Runtime)
 	if err != nil {
-		n.stats.Errors++
+		n.invokeError()
 		return Result{}, err
 	}
 	mu, err := n.deploy(p, base)
 	if err != nil {
-		n.stats.Errors++
+		n.invokeError()
 		return Result{}, err
 	}
 	if err := mu.u.Guest().Connect(); err != nil {
 		n.destroyUC(mu)
-		n.stats.Errors++
+		n.invokeError()
 		return Result{}, err
 	}
 	if err := mu.u.Guest().ImportAndCompile(req.Source); err != nil {
 		n.destroyUC(mu)
-		n.stats.Errors++
+		n.invokeError()
 		return Result{}, fmt.Errorf("core: import %q: %w", req.Key, err)
 	}
 	n.captureFnSnapshot(p, mu.u, req.Key)
 	out, err := n.runOn(p, mu, req)
-	return n.finish(start, PathCold, out, err)
+	return n.finish(start, id, req.Key, PathCold, out, err)
 }
 
-func (n *Node) finish(start sim.Time, path Path, out string, err error) (Result, error) {
+func (n *Node) finish(start sim.Time, id uint64, key string, path Path, out string, err error) (Result, error) {
 	if err != nil {
-		n.stats.Errors++
+		n.invokeError()
+		n.cfg.Tracer.Record(trace.Event{
+			At: time.Duration(start), Dur: time.Duration(n.eng.Now() - start),
+			Kind: trace.KindInvoke, ID: id, Key: key, Path: path.String(),
+			Detail: "error: " + err.Error(),
+		})
 		return Result{}, err
 	}
-	n.cfg.Tracer.Span(trace.KindInvoke, "", path.String(),
-		time.Duration(start), time.Duration(n.eng.Now()-start))
+	latency := time.Duration(n.eng.Now() - start)
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(start), Dur: latency,
+		Kind: trace.KindInvoke, ID: id, Key: key, Path: path.String(),
+	})
+	n.cfg.Metrics.Inc(pathCounters[path])
+	n.cfg.Metrics.Observe(pathHists[path], latency)
 	switch path {
 	case PathCold:
 		n.stats.Cold++
@@ -576,9 +628,10 @@ func (n *Node) finish(start sim.Time, path Path, out string, err error) (Result,
 		n.stats.Hot++
 	}
 	return Result{
+		ID:      id,
 		Path:    path,
 		Output:  out,
-		Latency: time.Duration(n.eng.Now() - start),
+		Latency: latency,
 	}, nil
 }
 
@@ -595,10 +648,12 @@ func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot) (*managedUC, error) 
 	u, err := uc.Deploy(snap, host, e)
 	for errors.Is(err, mem.ErrOutOfMemory) && n.reclaimOneIdle(p) {
 		n.stats.PressureIdleReclaims++
+		n.cfg.Metrics.Inc(metrics.CtrPressureIdleReclaims)
 		u, err = uc.Deploy(snap, host, e)
 	}
 	for errors.Is(err, mem.ErrOutOfMemory) && n.evictOneSnapshot(p) {
 		n.stats.PressureSnapshotEvictions++
+		n.cfg.Metrics.Inc(metrics.CtrPressureSnapshotEvictions)
 		u, err = uc.Deploy(snap, host, e)
 	}
 	if err != nil {
@@ -608,6 +663,12 @@ func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot) (*managedUC, error) 
 		return nil, err
 	}
 	n.stats.UCsDeployed++
+	n.cfg.Metrics.Inc(metrics.CtrUCsDeployed)
+	if u.Recycled() {
+		n.cfg.Metrics.Inc(metrics.CtrDeployKitHits)
+	} else {
+		n.cfg.Metrics.Inc(metrics.CtrDeployKitMisses)
+	}
 	mu := &managedUC{u: u, e: e, core: n.nextCore % n.cfg.Cores}
 	n.nextCore++
 	// Install the UC's port mapping on its resident core so kernel↔UC
@@ -663,6 +724,7 @@ func (n *Node) captureFnSnapshot(p *sim.Proc, u *uc.UC, key string) {
 	}
 	n.fnSnaps[key] = &fnEntry{snap: snap, last: n.eng.Now()}
 	n.stats.SnapshotsCaptured++
+	n.cfg.Metrics.Inc(metrics.CtrSnapshotsCaptured)
 	n.cfg.Tracer.Record(trace.Event{
 		At: time.Duration(n.eng.Now()), Kind: trace.KindCapture, Key: key,
 		Detail: fmt.Sprintf("%.1f MB diff", float64(snap.DiffBytes())/1e6),
@@ -701,6 +763,7 @@ func (n *Node) runOn(p *sim.Proc, mu *managedUC, req Request) (string, error) {
 	// Fault point: the UC crashes mid-invocation. Containment per §4 —
 	// discard the context, keep the snapshot.
 	if n.cfg.Faults.Fire(fault.PointUCCrash) {
+		n.cfg.Metrics.Inc(metrics.CtrFaultsInjected)
 		n.containFault(mu, req.Key, "injected uc crash")
 		return "", fault.Contain(ErrUCCrashed)
 	}
@@ -710,6 +773,7 @@ func (n *Node) runOn(p *sim.Proc, mu *managedUC, req Request) (string, error) {
 		n.containFault(mu, req.Key, err.Error())
 		if errors.Is(err, lang.ErrTooManySteps) && deadline > 0 {
 			n.stats.DeadlinesExceeded++
+			n.cfg.Metrics.Inc(metrics.CtrDeadlinesExceeded)
 			return "", fault.Contain(fmt.Errorf("%w after %v: %w", ErrDeadlineExceeded, deadline, err))
 		}
 		return "", fault.Contain(fmt.Errorf("%w: %v", ErrUCCrashed, err))
@@ -722,6 +786,7 @@ func (n *Node) runOn(p *sim.Proc, mu *managedUC, req Request) (string, error) {
 func (n *Node) containFault(mu *managedUC, key, detail string) {
 	n.destroyUC(mu)
 	n.stats.UCCrashes++
+	n.cfg.Metrics.Inc(metrics.CtrUCCrashes)
 	n.stats.FaultsInjected = faultsInjected(n.cfg.Faults)
 	n.cfg.Tracer.Record(trace.Event{
 		At: time.Duration(n.eng.Now()), Kind: trace.KindFault, Key: key, Detail: detail,
@@ -799,6 +864,7 @@ func (n *Node) reclaimOneIdle(p *sim.Proc) bool {
 	oldest.mu.e.bind(p)
 	n.destroyUC(oldest.mu)
 	n.stats.UCsReclaimed++
+	n.cfg.Metrics.Inc(metrics.CtrUCsReclaimed)
 	n.cfg.Tracer.Record(trace.Event{
 		At: time.Duration(n.eng.Now()), Kind: trace.KindReclaim, Key: oldestKey,
 	})
@@ -845,6 +911,7 @@ func (n *Node) evictOneSnapshot(p *sim.Proc) bool {
 			n.destroyUC(entry.mu)
 			n.idleCount--
 			n.stats.UCsReclaimed++
+			n.cfg.Metrics.Inc(metrics.CtrUCsReclaimed)
 		}
 		delete(n.idle, lruKey)
 	}
@@ -856,6 +923,7 @@ func (n *Node) evictOneSnapshot(p *sim.Proc) bool {
 	}
 	delete(n.fnSnaps, lruKey)
 	n.stats.SnapshotsEvicted++
+	n.cfg.Metrics.Inc(metrics.CtrSnapshotsEvicted)
 	n.cfg.Tracer.Record(trace.Event{
 		At: time.Duration(n.eng.Now()), Kind: trace.KindEvict, Key: lruKey,
 	})
@@ -876,6 +944,7 @@ func (n *Node) dropSnapshot(p *sim.Proc, key string) bool {
 			n.destroyUC(idle.mu)
 			n.idleCount--
 			n.stats.UCsReclaimed++
+			n.cfg.Metrics.Inc(metrics.CtrUCsReclaimed)
 		}
 		delete(n.idle, key)
 	}
@@ -887,6 +956,7 @@ func (n *Node) dropSnapshot(p *sim.Proc, key string) bool {
 	}
 	delete(n.fnSnaps, key)
 	n.stats.SnapshotsEvicted++
+	n.cfg.Metrics.Inc(metrics.CtrSnapshotsEvicted)
 	n.cfg.Tracer.Record(trace.Event{
 		At: time.Duration(n.eng.Now()), Kind: trace.KindEvict, Key: key,
 	})
@@ -903,5 +973,6 @@ func (n *Node) DeployIdle(p *sim.Proc) (*uc.UC, error) {
 		return nil, err
 	}
 	n.stats.UCsDeployed++
+	n.cfg.Metrics.Inc(metrics.CtrUCsDeployed)
 	return u, nil
 }

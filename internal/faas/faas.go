@@ -25,6 +25,7 @@ import (
 	"seuss/internal/costs"
 	"seuss/internal/fault"
 	"seuss/internal/isolation"
+	"seuss/internal/metrics"
 	"seuss/internal/netsim"
 	"seuss/internal/shardpool"
 	"seuss/internal/sim"
@@ -110,6 +111,10 @@ type Cluster struct {
 	Failures int64
 	// Retries counts re-submissions after contained faults.
 	Retries int64
+	// Metrics, when non-nil, mirrors the platform outcome counters into
+	// the pre-registered metrics registry (CtrPlatformRequests /
+	// Failures / Retries). Set it before traffic, alongside Retry.
+	Metrics *metrics.Recorder
 }
 
 // busRequest is one activation in flight on the bus.
@@ -162,6 +167,7 @@ func (c *Cluster) invokeWithRetry(p *sim.Proc, spec workload.Spec, args string) 
 	}
 	for attempt := 0; attempt < c.Retry.Max && err != nil && fault.IsContained(err); attempt++ {
 		c.Retries++
+		c.Metrics.Inc(metrics.CtrPlatformRetries)
 		p.Sleep(backoff)
 		backoff *= 2
 		err = c.backend.Invoke(p, spec, args)
@@ -184,6 +190,7 @@ func (c *Cluster) Backend() Backend { return c.backend }
 // (the paper's benchmark issues synchronous requests).
 func (c *Cluster) Invoke(p *sim.Proc, spec workload.Spec, args string) error {
 	c.Requests++
+	c.Metrics.Inc(metrics.CtrPlatformRequests)
 	c.registry.Put(spec.Key, spec.Source) // idempotent registration
 	p.Sleep(costs.ControllerOverhead)
 	r := &busRequest{spec: spec, args: args, reply: sim.NewQueue(c.eng)}
@@ -192,6 +199,7 @@ func (c *Cluster) Invoke(p *sim.Proc, spec workload.Spec, args string) error {
 	if v != nil {
 		if err, ok := v.(error); ok {
 			c.Failures++
+			c.Metrics.Inc(metrics.CtrPlatformFailures)
 			return err
 		}
 	}
@@ -644,6 +652,7 @@ type activations struct {
 // blocking invocations.
 func (c *Cluster) InvokeAsync(p *sim.Proc, spec workload.Spec, args string) int64 {
 	c.Requests++
+	c.Metrics.Inc(metrics.CtrPlatformRequests)
 	c.registry.Put(spec.Key, spec.Source)
 	p.Sleep(costs.ControllerOverhead)
 	c.acts.next++
@@ -657,6 +666,7 @@ func (c *Cluster) InvokeAsync(p *sim.Proc, spec workload.Spec, args string) int6
 		act.Done = true
 		if err != nil {
 			c.Failures++
+			c.Metrics.Inc(metrics.CtrPlatformFailures)
 		}
 		c.acts.updated.Broadcast()
 	})

@@ -51,7 +51,12 @@ func Summarize(samples []time.Duration) Summary {
 }
 
 // Quantile returns the q-quantile (0..1) of an ascending-sorted sample
-// set using nearest-rank interpolation.
+// set using linear interpolation between the closest ranks (the R-7
+// estimator of Hyndman & Fan, the default in NumPy and Excel): the
+// quantile position is q·(n−1), and a fractional position interpolates
+// linearly between the two neighboring order statistics. See DESIGN.md
+// §9 for why this estimator and how it relates to the /metrics
+// histograms.
 func Quantile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0

@@ -1,0 +1,282 @@
+// The metrics registry: a fixed, pre-registered set of monotonic
+// counters and latency histograms every instrumented layer (core node,
+// shard pool, platform) records into, plus the Prometheus text
+// exposition writer.
+//
+// Design: observability must stay off the allocation-free hot path.
+// Every counter and histogram is registered at compile time as an
+// index into a fixed array of atomics — recording is one atomic add,
+// with no map lookups, no label interning, and no per-event heap
+// allocation. A sharded pool gives each shard a private Recorder
+// (lock-free by construction: atomics, no shared cache lines beyond
+// the array) and merges Snapshots on read, mirroring how per-shard
+// stats are already aggregated.
+
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one pre-registered monotonic counter.
+type Counter int
+
+// The registered counters. Descriptors in counterDescs must stay in
+// this order, with counters sharing a Prometheus family name adjacent,
+// so the exposition writer can group them under one HELP/TYPE header.
+const (
+	// Invocations by outcome (the paper's cold/warm/hot split).
+	CtrColdInvocations Counter = iota
+	CtrWarmInvocations
+	CtrHotInvocations
+	CtrInvokeErrors
+	// Cache behavior: snapshot-stack (function snapshot) lookups, idle
+	// UC (hot path) hits, and deploy-kit recycling.
+	CtrSnapshotStackHits
+	CtrSnapshotStackMisses
+	CtrIdleUCHits
+	CtrDeployKitHits
+	CtrDeployKitMisses
+	// UC lifecycle.
+	CtrUCsDeployed
+	CtrUCsReclaimed
+	CtrSnapshotsCaptured
+	CtrSnapshotsEvicted
+	// Failure containment.
+	CtrUCCrashes
+	CtrDeadlinesExceeded
+	CtrPressureIdleReclaims
+	CtrPressureSnapshotEvictions
+	CtrPressureColdFallbacks
+	CtrFaultsInjected
+	// Pool routing and breaker transitions.
+	CtrBreakerTrips
+	CtrRequestsStolen
+	CtrRequestsRerouted
+	CtrRequestsRequeued
+	CtrShardStalls
+	// Platform (faas.Cluster) outcomes.
+	CtrPlatformRequests
+	CtrPlatformFailures
+	CtrPlatformRetries
+
+	numCounters
+)
+
+// Hist identifies one pre-registered latency histogram.
+type Hist int
+
+// The registered histograms: invocation latency split by path.
+const (
+	HistColdLatency Hist = iota
+	HistWarmLatency
+	HistHotLatency
+
+	numHists
+)
+
+type desc struct {
+	name   string // Prometheus family name
+	help   string // HELP text, written once per family
+	labels string // rendered label pairs, "" for none
+}
+
+var counterDescs = [numCounters]desc{
+	CtrColdInvocations: {"seuss_invocations_total", "Invocations served, by path taken.", `path="cold"`},
+	CtrWarmInvocations: {"seuss_invocations_total", "", `path="warm"`},
+	CtrHotInvocations:  {"seuss_invocations_total", "", `path="hot"`},
+	CtrInvokeErrors:    {"seuss_invocation_errors_total", "Invocations that returned an error.", ""},
+
+	CtrSnapshotStackHits:   {"seuss_snapshot_stack_lookups_total", "Function-snapshot (snapshot stack) cache lookups on the warm path.", `result="hit"`},
+	CtrSnapshotStackMisses: {"seuss_snapshot_stack_lookups_total", "", `result="miss"`},
+	CtrIdleUCHits:          {"seuss_idle_uc_hits_total", "Invocations served hot from a cached idle UC.", ""},
+	CtrDeployKitHits:       {"seuss_deploy_kit_lookups_total", "Deploy-kit cache lookups (retired UC recycling) during deploys.", `result="hit"`},
+	CtrDeployKitMisses:     {"seuss_deploy_kit_lookups_total", "", `result="miss"`},
+
+	CtrUCsDeployed:       {"seuss_ucs_deployed_total", "UCs deployed from snapshots.", ""},
+	CtrUCsReclaimed:      {"seuss_ucs_reclaimed_total", "Idle UCs destroyed by the OOM reclaim policy.", ""},
+	CtrSnapshotsCaptured: {"seuss_snapshots_captured_total", "Function snapshots captured on cold paths.", ""},
+	CtrSnapshotsEvicted:  {"seuss_snapshots_evicted_total", "Function snapshots evicted from the cache.", ""},
+
+	CtrUCCrashes:                 {"seuss_uc_crashes_total", "UCs destroyed after a contained mid-invocation fault.", ""},
+	CtrDeadlinesExceeded:         {"seuss_deadlines_exceeded_total", "Invocations killed by their step-budget deadline.", ""},
+	CtrPressureIdleReclaims:      {"seuss_pressure_degradations_total", "Memory-pressure degradations, by ladder level.", `level="idle_reclaim"`},
+	CtrPressureSnapshotEvictions: {"seuss_pressure_degradations_total", "", `level="snapshot_eviction"`},
+	CtrPressureColdFallbacks:     {"seuss_pressure_degradations_total", "", `level="cold_fallback"`},
+	CtrFaultsInjected:            {"seuss_faults_injected_total", "Fault points fired by the deterministic injector.", ""},
+
+	CtrBreakerTrips:     {"seuss_breaker_trips_total", "Circuit-breaker closed-to-open transitions.", ""},
+	CtrRequestsStolen:   {"seuss_requests_stolen_total", "Requests served off their owner shard via work stealing.", ""},
+	CtrRequestsRerouted: {"seuss_requests_rerouted_total", "Requests diverted away from an open breaker.", ""},
+	CtrRequestsRequeued: {"seuss_requests_requeued_total", "Requests a stalled shard pushed back for a healthy shard.", ""},
+	CtrShardStalls:      {"seuss_shard_stalls_total", "Injected shard stalls.", ""},
+
+	CtrPlatformRequests: {"seuss_platform_requests_total", "Platform-level activations accepted.", ""},
+	CtrPlatformFailures: {"seuss_platform_failures_total", "Platform-level activations that surfaced an error.", ""},
+	CtrPlatformRetries:  {"seuss_platform_retries_total", "Platform re-submissions after contained faults.", ""},
+}
+
+var histDescs = [numHists]desc{
+	HistColdLatency: {"seuss_invocation_latency_seconds", "Node-side invocation latency (virtual time), by path.", `path="cold"`},
+	HistWarmLatency: {"seuss_invocation_latency_seconds", "", `path="warm"`},
+	HistHotLatency:  {"seuss_invocation_latency_seconds", "", `path="hot"`},
+}
+
+// Recorder is one collection point's metric storage: a fixed array of
+// atomic counters plus the registered histograms. All methods are
+// safe for concurrent use and nil-safe — un-instrumented code paths
+// carry a nil Recorder at zero cost and zero conditionals at call
+// sites.
+type Recorder struct {
+	counters [numCounters]atomic.Int64
+	hists    [numHists]Histogram
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Inc adds one to a counter. Safe on a nil recorder.
+func (r *Recorder) Inc(c Counter) {
+	if r != nil {
+		r.counters[c].Add(1)
+	}
+}
+
+// AddCounter adds n to a counter. Safe on a nil recorder.
+func (r *Recorder) AddCounter(c Counter, n int64) {
+	if r != nil {
+		r.counters[c].Add(n)
+	}
+}
+
+// Observe records a duration into a histogram. Safe on a nil recorder;
+// never allocates.
+func (r *Recorder) Observe(h Hist, d time.Duration) {
+	if r != nil {
+		r.hists[h].Observe(d)
+	}
+}
+
+// Snapshot returns a point-in-time copy of every counter and
+// histogram. Safe on a nil recorder (returns the zero snapshot).
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for i := range r.counters {
+		s.Counters[i] = r.counters[i].Load()
+	}
+	for i := range r.hists {
+		s.Hists[i] = r.hists[i].Snapshot()
+	}
+	return s
+}
+
+// Snapshot is an immutable reading of a Recorder: the unit merged
+// across shards on scrape.
+type Snapshot struct {
+	Counters [numCounters]int64
+	Hists    [numHists]HistogramSnapshot
+}
+
+// Merge accumulates o into s (element-wise, associative).
+func (s *Snapshot) Merge(o Snapshot) {
+	for i := range s.Counters {
+		s.Counters[i] += o.Counters[i]
+	}
+	for i := range s.Hists {
+		s.Hists[i].Merge(o.Hists[i])
+	}
+}
+
+// Counter returns one counter's value.
+func (s Snapshot) Counter(c Counter) int64 { return s.Counters[c] }
+
+// Histogram returns one histogram's snapshot.
+func (s Snapshot) Histogram(h Hist) HistogramSnapshot { return s.Hists[h] }
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): counters as counter families, histograms as
+// cumulative-bucket histogram families with +Inf, _sum, and _count
+// series. Families sharing a name are grouped under a single
+// HELP/TYPE header, as the format requires.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	prev := ""
+	for i := Counter(0); i < numCounters; i++ {
+		d := counterDescs[i]
+		if d.name != prev {
+			if err := writeHeader(w, d.name, d.help, "counter"); err != nil {
+				return err
+			}
+			prev = d.name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", d.name, renderLabels(d.labels), s.Counters[i]); err != nil {
+			return err
+		}
+	}
+	prev = ""
+	for i := Hist(0); i < numHists; i++ {
+		d := histDescs[i]
+		if d.name != prev {
+			if err := writeHeader(w, d.name, d.help, "histogram"); err != nil {
+				return err
+			}
+			prev = d.name
+		}
+		if err := writeHistogram(w, d, s.Hists[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+func renderLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func writeHistogram(w io.Writer, d desc, h HistogramSnapshot) error {
+	sep := ""
+	if d.labels != "" {
+		sep = d.labels + ","
+	}
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(LatencyBuckets) {
+			le = formatSeconds(LatencyBuckets[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", d.name, sep, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", d.name, renderLabels(d.labels),
+		strconv.FormatFloat(float64(h.SumNanos)/1e9, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", d.name, renderLabels(d.labels), cum)
+	return err
+}
+
+// formatSeconds renders a bucket bound as a seconds float ("0.001").
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}

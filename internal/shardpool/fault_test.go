@@ -13,7 +13,7 @@ import (
 // closed → open on threshold consecutive failures, open → half-open
 // after probeAfter diversions, probe outcome closes or re-opens.
 func TestBreakerStateMachine(t *testing.T) {
-	b := newBreaker(2, 3)
+	b := newBreaker(2, 3, nil)
 
 	if allow, _ := b.route(); !allow {
 		t.Fatal("closed breaker must allow")
@@ -60,7 +60,7 @@ func TestBreakerStateMachine(t *testing.T) {
 		t.Fatalf("successful probe left state %s", s)
 	}
 
-	d := newBreaker(-1, 0)
+	d := newBreaker(-1, 0, nil)
 	if !d.disabled() {
 		t.Fatal("threshold -1 should disable")
 	}

@@ -57,6 +57,7 @@ import (
 	"seuss/internal/core"
 	"seuss/internal/fault"
 	"seuss/internal/mem"
+	"seuss/internal/metrics"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
 	"seuss/internal/uc"
@@ -132,6 +133,9 @@ func (c Config) withDefaults() Config {
 
 // Result is one invocation's outcome, annotated with where it ran.
 type Result struct {
+	// RequestID is the invocation's process-unique request ID, carried
+	// on its trace span (core.Result.ID).
+	RequestID uint64
 	// Path is the invocation path taken ("cold", "warm", "hot").
 	Path core.Path
 	// Output is the driver's JSON response.
@@ -217,10 +221,11 @@ type breaker struct {
 	failures   int // consecutive contained failures while closed
 	diverted   int // requests diverted while open
 	trips      int64
+	rec        *metrics.Recorder // shard recorder; counts trips (nil ok)
 }
 
-func newBreaker(threshold, probeAfter int) *breaker {
-	return &breaker{threshold: threshold, probeAfter: probeAfter}
+func newBreaker(threshold, probeAfter int, rec *metrics.Recorder) *breaker {
+	return &breaker{threshold: threshold, probeAfter: probeAfter, rec: rec}
 }
 
 // disabled reports whether breaker logic is off (threshold < 0).
@@ -276,6 +281,7 @@ func (b *breaker) recordFailure() {
 		b.state = breakerOpen
 		b.diverted = 0
 		b.trips++
+		b.rec.Inc(metrics.CtrBreakerTrips)
 	case breakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
@@ -283,6 +289,7 @@ func (b *breaker) recordFailure() {
 			b.failures = 0
 			b.diverted = 0
 			b.trips++
+			b.rec.Inc(metrics.CtrBreakerTrips)
 		}
 	}
 	// Failures while already open (stolen work served here) don't
@@ -354,6 +361,10 @@ type shard struct {
 	reqs    chan *request
 	faults  *fault.Injector // shared with the shard's node
 	breaker *breaker
+	// rec is the shard's private metrics recorder, shared with its node
+	// (lock-free by construction: one writer goroutine for node-path
+	// counters, atomics for the breaker). Merged on Pool.Metrics().
+	rec *metrics.Recorder
 }
 
 // Pool is the front door over N shards.
@@ -368,6 +379,9 @@ type Pool struct {
 	rerouted atomic.Int64
 	requeued atomic.Int64
 	stalls   atomic.Int64
+	// rec holds pool-level (routing) counters; per-shard recorders are
+	// merged with it on Metrics().
+	rec *metrics.Recorder
 }
 
 // New hydrates and starts a pool.
@@ -405,6 +419,7 @@ func New(cfg Config) (*Pool, error) {
 		cfg:      cfg,
 		overflow: make(chan *request, cfg.Shards*cfg.QueueDepth),
 		quit:     make(chan struct{}),
+		rec:      metrics.NewRecorder(),
 	}
 	perShardMem := cfg.Node.MemoryBytes
 	if perShardMem > 0 {
@@ -462,6 +477,11 @@ func (p *Pool) hydrateShard(id int, memBytes int64, encoded map[string][]byte) (
 	// trace, derived deterministically from the pool seed.
 	inj := fault.New(p.cfg.Faults.Child(id))
 	nodeCfg.Faults = inj
+	// One recorder per shard, shared with its node and breaker; any
+	// caller-supplied Node.Metrics is replaced — pool aggregates come
+	// out of Pool.Metrics(), which merges the per-shard recorders.
+	rec := metrics.NewRecorder()
+	nodeCfg.Metrics = rec
 	node, err := core.NewNodeFromSnapshots(eng, nodeCfg, st, snaps)
 	if err != nil {
 		return nil, fmt.Errorf("shardpool: shard %d: %w", id, err)
@@ -473,7 +493,8 @@ func (p *Pool) hydrateShard(id int, memBytes int64, encoded map[string][]byte) (
 		node:    node,
 		reqs:    make(chan *request, p.cfg.QueueDepth),
 		faults:  inj,
-		breaker: newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerProbeAfter),
+		breaker: newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerProbeAfter, rec),
+		rec:     rec,
 	}, nil
 }
 
@@ -574,6 +595,8 @@ func (s *shard) serve(r *request, stolen bool) {
 	// impossible, in which case the caller gets a contained error.
 	if s.faults.Fire(fault.PointShardStall) {
 		s.pool.stalls.Add(1)
+		s.rec.Inc(metrics.CtrShardStalls)
+		s.rec.Inc(metrics.CtrFaultsInjected)
 		s.breaker.recordFailure()
 		if !s.pool.cfg.DisableWorkStealing && r.requeues < 2*len(s.pool.shards) &&
 			s.pool.anyHealthy(-1) {
@@ -581,6 +604,7 @@ func (s *shard) serve(r *request, stolen bool) {
 			select {
 			case s.pool.overflow <- r:
 				s.pool.requeued.Add(1)
+				s.pool.rec.Inc(metrics.CtrRequestsRequeued)
 				return
 			default:
 				// Overflow full under a pool-wide storm; fail contained.
@@ -603,6 +627,7 @@ func (s *shard) serve(r *request, stolen bool) {
 	}
 	if stolen {
 		s.pool.stolen.Add(1)
+		s.pool.rec.Inc(metrics.CtrRequestsStolen)
 	}
 	r.reply <- response{res: res, err: err, shard: s.id, stolen: stolen}
 }
@@ -630,6 +655,7 @@ func (p *Pool) submit(r *request, owner int) error {
 				select {
 				case p.overflow <- r:
 					p.rerouted.Add(1)
+					p.rec.Inc(metrics.CtrRequestsRerouted)
 					return nil
 				default:
 					// Overflow full; fall through to the owner.
@@ -692,11 +718,12 @@ func (p *Pool) Invoke(req core.Request) (Result, error) {
 		return Result{Shard: resp.shard, Stolen: resp.stolen}, resp.err
 	}
 	return Result{
-		Path:    resp.res.Path,
-		Output:  resp.res.Output,
-		Latency: resp.res.Latency,
-		Shard:   resp.shard,
-		Stolen:  resp.stolen,
+		RequestID: resp.res.ID,
+		Path:      resp.res.Path,
+		Output:    resp.res.Output,
+		Latency:   resp.res.Latency,
+		Shard:     resp.shard,
+		Stolen:    resp.stolen,
 	}, nil
 }
 
@@ -765,6 +792,20 @@ func (p *Pool) Stats() (Stats, error) {
 		out.MemoryUsedBytes += ss.Mem.BytesInUse
 	}
 	return out, nil
+}
+
+// Metrics merges the pool's routing counters with every shard's
+// recorder into one snapshot. Unlike Stats, the read does not route
+// through the shard goroutines: recorders are atomics, so a scrape
+// never waits behind a busy (or wedged) shard. Each counter is
+// individually exact; the snapshot as a whole is a union of per-shard
+// readings taken moments apart, same as Stats.
+func (p *Pool) Metrics() metrics.Snapshot {
+	s := p.rec.Snapshot()
+	for _, sh := range p.shards {
+		s.Merge(sh.rec.Snapshot())
+	}
+	return s
 }
 
 // BreakerState returns a shard's circuit-breaker state name without

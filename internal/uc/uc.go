@@ -81,6 +81,10 @@ type UC struct {
 	env   libos.Env
 	state State
 	regs  snapshot.Registers
+	// recycled marks a UC whose last deploy rebound a retired deploy
+	// kit instead of rehydrating from scratch (the deploy-kit cache
+	// hit/miss signal for metrics).
+	recycled bool
 	// meta holds the kernel-side frames backing the UC descriptor,
 	// event-context stacks, and proxy mappings.
 	meta []*mem.Frame
@@ -243,6 +247,7 @@ func (u *UC) redeploy(snap *snapshot.Snapshot, space *pagetable.AddressSpace, re
 	u.env = env
 	u.regs = regs
 	u.state = StateIdle
+	u.recycled = true
 	inner := host
 	if inner == nil {
 		if u.stub == nil {
@@ -276,6 +281,11 @@ func hostOrStub(h hypercall.Host) hypercall.Host {
 
 // ID returns the UC's unique identifier.
 func (u *UC) ID() uint64 { return u.id }
+
+// Recycled reports whether this UC's most recent deploy rebound a
+// retired deploy kit (skipping rehydration) rather than building the
+// guest from the snapshot payload.
+func (u *UC) Recycled() bool { return u.recycled }
 
 // Space returns the UC's address space.
 func (u *UC) Space() *pagetable.AddressSpace { return u.space }

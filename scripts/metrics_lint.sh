@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# metrics_lint.sh — boot a real seuss-node, drive a couple of
+# invocations through it, scrape GET /metrics, and lint the exposition:
+#
+#   * every sample line parses as  name[{labels}] value
+#   * every sample belongs to a family announced by a # TYPE line
+#   * no family announces # TYPE twice (same-family series must be
+#     written adjacently)
+#   * every value parses as a float
+#   * histogram families emit _bucket (with an le label and an +Inf
+#     bound), _sum, and _count series
+#   * the families the README promises are actually present, and the
+#     invocations we sent show up in them
+#
+# This is the CI companion to the byte-exact golden test in
+# internal/metrics: the golden test pins the renderer, this pins the
+# wired-up binary end to end.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${SEUSS_LINT_PORT:-18473}"
+ADDR="127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+NODE_PID=""
+cleanup() {
+  [ -n "$NODE_PID" ] && kill "$NODE_PID" 2>/dev/null || true
+  [ -n "$NODE_PID" ] && wait "$NODE_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== building seuss-node" >&2
+go build -o "$TMP/seuss-node" ./cmd/seuss-node
+
+echo "== booting on $ADDR" >&2
+"$TMP/seuss-node" -addr "$ADDR" -shards 2 >"$TMP/node.log" 2>&1 &
+NODE_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$NODE_PID" 2>/dev/null; then
+    echo "FAIL: seuss-node exited during boot:" >&2
+    cat "$TMP/node.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+  if [ "$i" -eq 50 ]; then
+    echo "FAIL: seuss-node never became healthy" >&2
+    cat "$TMP/node.log" >&2
+    exit 1
+  fi
+done
+
+# Two invocations of one key: first is a cold start, second is a hot
+# start from the cached idle UC — so both ends of the path taxonomy
+# have non-zero counters in the scrape.
+BODY='{"key":"lint/fn","source":"function main(a) { return {ok: true}; }"}'
+for i in 1 2; do
+  curl -sf -X POST "http://$ADDR/invoke" -d "$BODY" >/dev/null
+done
+
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+CT="$(curl -sf -o /dev/null -w '%{content_type}' "http://$ADDR/metrics")"
+case "$CT" in
+  *text/plain*) ;;
+  *) echo "FAIL: /metrics Content-Type is not text/plain: $CT" >&2; exit 1 ;;
+esac
+
+echo "== linting exposition ($(wc -l < "$TMP/metrics.txt") lines)" >&2
+awk '
+  /^# TYPE / {
+    if (NF != 4) { printf "line %d: malformed TYPE line: %s\n", NR, $0; bad = 1; next }
+    if ($3 in type) { printf "line %d: duplicate TYPE for family %s\n", NR, $3; bad = 1 }
+    if ($4 != "counter" && $4 != "gauge" && $4 != "histogram" && $4 != "summary" && $4 != "untyped") {
+      printf "line %d: unknown metric type %s\n", NR, $4; bad = 1
+    }
+    type[$3] = $4
+    next
+  }
+  /^#/ { next }     # HELP and comments
+  /^$/ { next }
+  {
+    # name{labels} value  |  name value
+    if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) {
+      printf "line %d: sample does not start with a metric name: %s\n", NR, $0; bad = 1; next
+    }
+    name = substr($0, 1, RLENGTH)
+    rest = substr($0, RLENGTH + 1)
+    labels = ""
+    if (substr(rest, 1, 1) == "{") {
+      close_idx = index(rest, "}")
+      if (close_idx == 0) { printf "line %d: unterminated label set: %s\n", NR, $0; bad = 1; next }
+      labels = substr(rest, 1, close_idx)
+      rest = substr(rest, close_idx + 1)
+    }
+    if (rest !~ /^ [^ ]+$/) {
+      printf "line %d: expected single space then value: %s\n", NR, $0; bad = 1; next
+    }
+    value = substr(rest, 2)
+    if (value !~ /^[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$/) {
+      printf "line %d: unparseable value %s\n", NR, value; bad = 1
+    }
+    # Map histogram child series back to their family for TYPE coverage.
+    family = name
+    if (family in type) { } else {
+      sub(/_(bucket|sum|count)$/, "", family)
+    }
+    if (!(family in type)) {
+      printf "line %d: sample %s has no TYPE declaration\n", NR, name; bad = 1; next
+    }
+    if (type[family] == "histogram") {
+      if (name ~ /_bucket$/) {
+        if (labels !~ /le="/) { printf "line %d: histogram bucket without le label: %s\n", NR, $0; bad = 1 }
+        if (labels ~ /le="\+Inf"/) inf_seen[family] = 1
+        seen_bucket[family] = 1
+      } else if (name ~ /_sum$/) { seen_sum[family] = 1 }
+      else if (name ~ /_count$/) { seen_count[family] = 1 }
+      else { printf "line %d: histogram family %s has non-histogram sample %s\n", NR, family, name; bad = 1 }
+    }
+  }
+  END {
+    for (f in type) {
+      if (type[f] != "histogram") continue
+      if (!(f in seen_bucket)) { printf "histogram %s: no _bucket series\n", f; bad = 1 }
+      if (!(f in inf_seen))    { printf "histogram %s: no le=\"+Inf\" bucket\n", f; bad = 1 }
+      if (!(f in seen_sum))    { printf "histogram %s: no _sum\n", f; bad = 1 }
+      if (!(f in seen_count))  { printf "histogram %s: no _count\n", f; bad = 1 }
+    }
+    exit bad
+  }
+' "$TMP/metrics.txt"
+
+# The families the README and DESIGN.md §9 promise, with the values the
+# two invocations above must have produced.
+require() {
+  if ! grep -q "$1" "$TMP/metrics.txt"; then
+    echo "FAIL: /metrics is missing: $1" >&2
+    exit 1
+  fi
+}
+require '^seuss_invocations_total{path="cold"} 1$'
+require '^seuss_invocations_total{path="hot"} 1$'
+require '^seuss_invocation_latency_seconds_bucket{path="cold",le="+Inf"} 1$'
+require '^seuss_invocation_latency_seconds_count{path="cold"} 1$'
+require '^seuss_snapshot_stack_lookups_total{result='
+require '^seuss_deploy_kit_lookups_total{result='
+require '^seuss_ucs_deployed_total '
+require '^seuss_trace_dropped_total 0$'
+
+echo "OK: /metrics exposition is well-formed" >&2

@@ -27,6 +27,7 @@
 package seuss
 
 import (
+	"io"
 	"time"
 
 	"seuss/internal/cluster"
@@ -134,6 +135,10 @@ func (s *Simulation) NewNode(cfg NodeConfig) (*Node, error) {
 
 // Invocation is the result of one function invocation.
 type Invocation struct {
+	// RequestID is the invocation's process-unique request ID; the
+	// node's trace carries it on the matching invoke span, so a result
+	// correlates with its timeline events.
+	RequestID uint64
 	// Path is "cold", "warm", or "hot".
 	Path string
 	// Output is the driver's JSON response.
@@ -156,7 +161,7 @@ func (n *Node) InvokeRuntime(t *Task, runtime, key, source, args string) (Invoca
 	if err != nil {
 		return Invocation{}, err
 	}
-	return Invocation{Path: res.Path.String(), Output: res.Output, Latency: res.Latency}, nil
+	return Invocation{RequestID: res.ID, Path: res.Path.String(), Output: res.Output, Latency: res.Latency}, nil
 }
 
 // InvokeSync is a convenience for sequential use: it spawns a task for
@@ -295,7 +300,7 @@ func (p *NodePool) InvokeSync(key, source, args string) (PoolInvocation, error) 
 		return PoolInvocation{}, err
 	}
 	return PoolInvocation{
-		Invocation: Invocation{Path: res.Path.String(), Output: res.Output, Latency: res.Latency},
+		Invocation: Invocation{RequestID: res.RequestID, Path: res.Path.String(), Output: res.Output, Latency: res.Latency},
 		Shard:      res.Shard,
 		Stolen:     res.Stolen,
 	}, nil
@@ -309,7 +314,7 @@ func (p *NodePool) InvokeRuntime(runtime, key, source, args string) (PoolInvocat
 		return PoolInvocation{}, err
 	}
 	return PoolInvocation{
-		Invocation: Invocation{Path: res.Path.String(), Output: res.Output, Latency: res.Latency},
+		Invocation: Invocation{RequestID: res.RequestID, Path: res.Path.String(), Output: res.Output, Latency: res.Latency},
 		Shard:      res.Shard,
 		Stolen:     res.Stolen,
 	}, nil
@@ -364,6 +369,12 @@ func (p *NodePool) Stats() (PoolStats, error) {
 		Shards:   st.Shards,
 	}, nil
 }
+
+// Metrics returns the pool's merged metrics snapshot: per-shard
+// lock-free recorders plus pool-level routing counters, aggregated at
+// read time. Unlike Stats, the read never waits behind a busy shard.
+// Render it with WriteMetricsText.
+func (p *NodePool) Metrics() Metrics { return p.pool.Metrics() }
 
 // Shards returns the shard count.
 func (p *NodePool) Shards() int { return p.pool.Shards() }
@@ -516,6 +527,30 @@ func (d *DistCluster) Holders(key string) []int { return d.c.Holders(key) }
 
 // Nodes returns the member count.
 func (d *DistCluster) Nodes() int { return len(d.c.Members()) }
+
+// ---- Metrics ----
+
+// Metrics is a point-in-time reading of the pre-registered counters
+// and latency histograms: invocations by cold/warm/hot path, cache
+// hit/miss pairs (snapshot stack, idle UCs, deploy kits), UC
+// lifecycle, containment, routing, and per-path latency histograms.
+type Metrics = metrics.Snapshot
+
+// MetricsRecorder is the lock-free collection point metrics flow into:
+// a fixed array of atomics, nil-safe, allocation-free to record into.
+// Attach one via NodeConfig.Metrics on a standalone node (a NodePool
+// wires its own, one per shard) and read it with its Snapshot method.
+type MetricsRecorder = metrics.Recorder
+
+// NewMetricsRecorder returns an empty recorder.
+func NewMetricsRecorder() *MetricsRecorder { return metrics.NewRecorder() }
+
+// WriteMetricsText renders a metrics snapshot in Prometheus text
+// exposition format (version 0.0.4) — the payload cmd/seuss-node
+// serves at /metrics.
+func WriteMetricsText(w io.Writer, m Metrics) error {
+	return metrics.WritePrometheus(w, m)
+}
 
 // ---- Tracing ----
 
