@@ -12,6 +12,7 @@
 package seuss
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"seuss/internal/mem"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
+	"seuss/internal/snapstore"
 	"seuss/internal/uc"
 	"seuss/internal/workload"
 )
@@ -393,6 +395,94 @@ func BenchmarkPageFaultRealTime(b *testing.B) {
 		if err := space.Touch(uint64(0x4000_0000_0000) + uint64(i)*mem.PageSize); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLukewarmDeploy measures the real cost a disk-tier restore
+// adds over a warm deploy: read the encoded diff from the
+// content-addressed store (CRC-verified), decode it, graft it onto the
+// resident base, and reattach the guest payload. Compare with
+// BenchmarkColdRebuildRealTime — the path a restore skips — to see the
+// lukewarm win in wall time.
+func BenchmarkLukewarmDeploy(b *testing.B) {
+	st := mem.NewStore(0)
+	runtime := buildRuntimeSnapshot(b, st)
+	env := &libos.CountingEnv{}
+	u, err := uc.Deploy(runtime, nil, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u.Guest().Connect()
+	u.Guest().ImportAndCompile(workload.NOPSource)
+	fnSnap, err := u.Capture("fn/bench", uc.TriggerPCPostCompile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := snapstore.Open(b.TempDir(), -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := fnSnap.Export(&wire); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Put("fn/bench", "runtime", wire.Bytes()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := store.Get("fn/bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff, err := snapshot.ImportBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := snapshot.Graft(diff, runtime)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload, err := uc.DecodePayload(diff.PayloadBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap.SetPayload(payload)
+		b.StopTimer()
+		snap.Delete()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkColdRebuildRealTime is the work a lukewarm restore replaces:
+// deploy from the base runtime, connect, import and compile the user
+// function, capture its snapshot.
+func BenchmarkColdRebuildRealTime(b *testing.B) {
+	st := mem.NewStore(0)
+	runtime := buildRuntimeSnapshot(b, st)
+	env := &libos.CountingEnv{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := uc.Deploy(runtime, nil, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Guest().Connect(); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Guest().ImportAndCompile(workload.NOPSource); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := u.Capture(fmt.Sprintf("fn/%d", i), uc.TriggerPCPostCompile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		u.Destroy()
+		snap.Delete()
+		b.StartTimer()
 	}
 }
 

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// daemonFlags enumerates every flag seuss-node registers, via the same
+// registerFlags main() uses — so the test can't drift from the binary.
+func daemonFlags(t *testing.T) []*flag.Flag {
+	t.Helper()
+	fs := flag.NewFlagSet("seuss-node", flag.ContinueOnError)
+	registerFlags(fs)
+	var flags []*flag.Flag
+	fs.VisitAll(func(f *flag.Flag) { flags = append(flags, f) })
+	if len(flags) == 0 {
+		t.Fatal("registerFlags registered no flags")
+	}
+	return flags
+}
+
+// TestFlagSetIsExactlyTheDocumentedOne pins the daemon's flag roster.
+// Adding a flag without updating this list (and, per the companion
+// tests, the README and the package doc comment) is a test failure —
+// that's the point: flags must not drift from the docs.
+func TestFlagSetIsExactlyTheDocumentedOne(t *testing.T) {
+	want := map[string]bool{
+		"addr":          true,
+		"shards":        true,
+		"no-ao":         true,
+		"no-steal":      true,
+		"deadline":      true,
+		"fault-seed":    true,
+		"fault-rate":    true,
+		"snapdir":       true,
+		"snap-disk-cap": true,
+		"pprof":         true,
+	}
+	got := map[string]bool{}
+	for _, f := range daemonFlags(t) {
+		got[f.Name] = true
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("flag -%s disappeared from registerFlags; update the docs and this roster together", name)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("flag -%s is registered but not in the documented roster; add it to README.md, the main.go doc comment, and this test", name)
+		}
+	}
+}
+
+// TestEveryFlagHasUsageText rejects flags registered with an empty
+// usage string — `seuss-node -h` must explain every knob.
+func TestEveryFlagHasUsageText(t *testing.T) {
+	for _, f := range daemonFlags(t) {
+		if strings.TrimSpace(f.Usage) == "" {
+			t.Errorf("flag -%s has no usage text", f.Name)
+		}
+	}
+}
+
+// TestEveryFlagDocumentedInREADME requires each registered flag to
+// appear as `-<name>` in the repository README, where the flags table
+// and the snapshot-persistence quickstart live.
+func TestEveryFlagDocumentedInREADME(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	doc := string(readme)
+	for _, f := range daemonFlags(t) {
+		if !strings.Contains(doc, "-"+f.Name) {
+			t.Errorf("flag -%s is not documented in README.md", f.Name)
+		}
+	}
+}
+
+// TestEveryFlagDocumentedInDocComment requires each registered flag to
+// appear in this package's doc comment (the usage synopsis at the top
+// of main.go), so `go doc` and the binary agree.
+func TestEveryFlagDocumentedInDocComment(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatalf("read main.go: %v", err)
+	}
+	// Only the doc comment counts: everything before `package main`.
+	// A flag that is merely registered further down must still be
+	// named in the synopsis.
+	text := string(src)
+	idx := strings.Index(text, "\npackage main")
+	if idx < 0 {
+		t.Fatal("main.go has no package clause?")
+	}
+	docComment := text[:idx]
+	for _, f := range daemonFlags(t) {
+		if !strings.Contains(docComment, "-"+f.Name) {
+			t.Errorf("flag -%s is missing from the main.go doc comment synopsis", f.Name)
+		}
+	}
+}

@@ -4,6 +4,7 @@
 //
 //	seuss-node [-addr :8080] [-shards N] [-no-ao] [-no-steal]
 //	           [-deadline 0] [-fault-seed 0] [-fault-rate 0]
+//	           [-snapdir DIR] [-snap-disk-cap BYTES]
 //	           [-pprof localhost:6060]
 //
 // The node is a sharded pool: N shared-nothing compute shards (default:
@@ -22,8 +23,17 @@
 //	}'
 //
 // The response carries the driver's output plus a process-unique
-// request ID, the path taken (cold, warm, hot), the serving shard, and
-// the shard-side virtual latency.
+// request ID, the path taken (cold, warm, hot, lukewarm), the serving
+// shard, and the shard-side virtual latency.
+//
+// -snapdir enables the on-disk snapshot tier: evicted snapshot stacks
+// demote to DIR instead of being destroyed, later invocations restore
+// them via the lukewarm path, a graceful shutdown flushes every
+// resident function snapshot to DIR, and the next boot with the same
+// -snapdir prewarms the hottest lineages back into memory — so a
+// restarted node answers its first requests warm, not cold.
+// -snap-disk-cap bounds the tier in bytes (LRU eviction; -1 =
+// unlimited, 0 = reject all writes).
 // GET /stats reports pool-aggregated caches and counters (each shard's
 // contribution snapshotted between invocations, never mid-flight),
 // including the robustness ledger — retries, breaker trips, UC
@@ -162,17 +172,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"cold":             ss.Node.Cold,
 			"warm":             ss.Node.Warm,
 			"hot":              ss.Node.Hot,
+			"lukewarm":         ss.Node.Lukewarm,
 			"cached_snapshots": ss.CachedSnapshots,
 			"idle_ucs":         ss.IdleUCs,
 			"memory_used_mb":   float64(ss.Mem.BytesInUse) / 1e6,
 		})
 	}
 	rob := st.Robustness
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"shards":             s.pool.Shards(),
 		"cold":               st.Cold,
 		"warm":               st.Warm,
 		"hot":                st.Hot,
+		"lukewarm":           st.Lukewarm,
 		"errors":             st.Errors,
 		"stolen":             st.Stolen,
 		"cached_snapshots":   st.CachedSnapshots,
@@ -197,7 +209,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"pressure_cold_fallbacks":     rob.PressureColdFallbacks,
 			"faults_injected":             rob.FaultsInjected,
 		},
-	})
+	}
+	if store := s.pool.SnapshotStore(); store != nil {
+		ss := store.Stats()
+		body["snapshot_tier"] = map[string]interface{}{
+			"entries":          ss.Entries,
+			"bytes":            ss.Bytes,
+			"hits":             ss.Hits,
+			"misses":           ss.Misses,
+			"puts":             ss.Puts,
+			"put_rejected":     ss.PutRejected,
+			"evictions":        ss.Evictions,
+			"corrupt_dropped":  ss.CorruptDropped,
+			"demotions":        st.SnapshotsDemoted,
+			"promotions":       st.SnapshotsPromoted,
+			"prewarmed":        st.SnapshotsPrewarmed,
+			"node_tier_hits":   st.TierHits,
+			"node_tier_misses": st.TierMisses,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleHealthz reports liveness plus each shard's circuit-breaker
@@ -318,16 +349,44 @@ func (s *server) mux() *http.ServeMux {
 // this long to finish before the server gives up on stragglers.
 const drainTimeout = 30 * time.Second
 
+// options is the daemon's flag set, kept in one struct so the
+// registration test can enumerate every flag and hold it against the
+// README's documentation.
+type options struct {
+	addr        *string
+	shards      *int
+	noAO        *bool
+	noSteal     *bool
+	deadline    *time.Duration
+	faultSeed   *int64
+	faultRate   *float64
+	snapDir     *string
+	snapDiskCap *int64
+	pprofAddr   *string
+}
+
+// registerFlags declares every seuss-node flag on fs.
+func registerFlags(fs *flag.FlagSet) *options {
+	return &options{
+		addr:        fs.String("addr", ":8080", "listen address"),
+		shards:      fs.Int("shards", runtime.NumCPU(), "compute shard count"),
+		noAO:        fs.Bool("no-ao", false, "disable anticipatory optimizations"),
+		noSteal:     fs.Bool("no-steal", false, "disable work stealing (pin keys to owner shards)"),
+		deadline:    fs.Duration("deadline", 0, "per-invocation deadline (virtual time; 0 = unlimited)"),
+		faultSeed:   fs.Int64("fault-seed", 0, "deterministic fault-injection seed"),
+		faultRate:   fs.Float64("fault-rate", 0, "fault-point firing probability (0 disables injection)"),
+		snapDir:     fs.String("snapdir", "", "snapshot disk-tier directory (empty = memory-only; evictions destroy snapshots)"),
+		snapDiskCap: fs.Int64("snap-disk-cap", -1, "snapshot disk-tier capacity in bytes (-1 = unlimited, 0 = reject all writes)"),
+		pprofAddr:   fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)"),
+	}
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	shards := flag.Int("shards", runtime.NumCPU(), "compute shard count")
-	noAO := flag.Bool("no-ao", false, "disable anticipatory optimizations")
-	noSteal := flag.Bool("no-steal", false, "disable work stealing (pin keys to owner shards)")
-	deadline := flag.Duration("deadline", 0, "per-invocation deadline (virtual time; 0 = unlimited)")
-	faultSeed := flag.Int64("fault-seed", 0, "deterministic fault-injection seed")
-	faultRate := flag.Float64("fault-rate", 0, "fault-point firing probability (0 disables injection)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+	opts := registerFlags(flag.CommandLine)
 	flag.Parse()
+	addr, shards, noAO, noSteal := opts.addr, opts.shards, opts.noAO, opts.noSteal
+	deadline, faultSeed, faultRate := opts.deadline, opts.faultSeed, opts.faultRate
+	snapDir, snapDiskCap, pprofAddr := opts.snapDir, opts.snapDiskCap, opts.pprofAddr
 
 	if *pprofAddr != "" {
 		// A separate listener keeps the profiling surface off the public
@@ -350,6 +409,15 @@ func main() {
 	cfg.Node.DisableAO = *noAO
 	cfg.Node.InvokeDeadline = *deadline
 	cfg.Node.Tracer = seuss.NewTrace(100000)
+	if *snapDir != "" {
+		store, err := seuss.OpenSnapshotStore(*snapDir, *snapDiskCap)
+		if err != nil {
+			log.Fatalf("seuss-node: snapshot store: %v", err)
+		}
+		cfg.Node.SnapStore = store
+		st := store.Stats()
+		log.Printf("snapshot tier at %s: %d entries, %.1f MB on disk", *snapDir, st.Entries, float64(st.Bytes)/1e6)
+	}
 	start := time.Now()
 	pool, err := seuss.NewNodePool(cfg)
 	if err != nil {
@@ -359,6 +427,15 @@ func main() {
 		time.Since(start), pool.Shards(), !*noAO)
 	if *faultRate > 0 {
 		log.Printf("fault injection armed: seed=%d rate=%g", *faultSeed, *faultRate)
+	}
+	if cfg.Node.SnapStore != nil {
+		// Prewarm the tier's hottest lineages back into shard memory so
+		// the first request after a restart is warm, not cold.
+		if n, err := pool.Prewarm(0); err != nil {
+			log.Printf("seuss-node: prewarm: %v", err)
+		} else if n > 0 {
+			log.Printf("prewarmed %d function snapshot stacks from %s", n, *snapDir)
+		}
 	}
 
 	s := &server{pool: pool, tracer: cfg.Node.Tracer}
@@ -389,6 +466,15 @@ func main() {
 	log.Printf("listening on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("seuss-node: serve: %v", err)
+	}
+	if *snapDir != "" {
+		// Drained: every in-flight invocation finished, so flushing the
+		// resident snapshots now captures the final state of every shard.
+		if n, err := pool.FlushSnapshots(); err != nil {
+			log.Printf("seuss-node: snapshot flush: %v", err)
+		} else {
+			log.Printf("flushed %d function snapshots to %s", n, *snapDir)
+		}
 	}
 	pool.Close()
 	log.Printf("drained and closed; goodbye")

@@ -33,8 +33,10 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +51,7 @@ import (
 	"seuss/internal/netsim"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
+	"seuss/internal/snapstore"
 	"seuss/internal/trace"
 	"seuss/internal/uc"
 )
@@ -56,14 +59,18 @@ import (
 // Path labels which invocation path served a request.
 type Path int
 
-// The three invocation paths of §4.
+// The three invocation paths of §4, plus the disk tier's lukewarm
+// path: the function snapshot is not resident but its encoded diff is
+// on local disk, so the node promotes (read + graft) instead of
+// replaying the interpreter — cheaper than cold, dearer than warm.
 const (
 	PathCold Path = iota
 	PathWarm
 	PathHot
+	PathLukewarm
 )
 
-var pathNames = [...]string{"cold", "warm", "hot"}
+var pathNames = [...]string{"cold", "warm", "hot", "lukewarm"}
 
 // String implements fmt.Stringer.
 func (p Path) String() string { return pathNames[p] }
@@ -129,6 +136,13 @@ type Config struct {
 	// is atomic adds only — safe for the allocation-free hot path. nil
 	// disables collection at zero cost (nil-safe methods).
 	Metrics *metrics.Recorder
+	// SnapStore, when non-nil, is the on-disk snapshot tier: evictions
+	// demote encoded diffs into it instead of destroying them, warm
+	// misses consult it for a lukewarm restore, and graceful drains
+	// flush the resident stacks through it. A pool's shards share one
+	// store (it is internally synchronized). nil keeps today's
+	// destroy-on-evict behavior.
+	SnapStore *snapstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +182,7 @@ func DefaultConfig() Config {
 // Stats counts node activity.
 type Stats struct {
 	Cold, Warm, Hot   int64
+	Lukewarm          int64 // invocations restored from the disk tier
 	Errors            int64
 	UCsDeployed       int64
 	UCsReclaimed      int64 // idle UCs destroyed by the OOM policy
@@ -188,6 +203,14 @@ type Stats struct {
 	PressureColdFallbacks     int64
 	// FaultsInjected counts fault points that fired on this node.
 	FaultsInjected int64
+	// The snapshot disk tier: lookups on warm misses, evictions
+	// persisted as demotions, diffs grafted back in (lukewarm restores
+	// plus boot prewarms).
+	TierHits           int64
+	TierMisses         int64
+	SnapshotsDemoted   int64
+	SnapshotsPromoted  int64
+	SnapshotsPrewarmed int64
 }
 
 // Add accumulates o into s (pool/cluster aggregation).
@@ -206,6 +229,12 @@ func (s *Stats) Add(o Stats) {
 	s.PressureSnapshotEvictions += o.PressureSnapshotEvictions
 	s.PressureColdFallbacks += o.PressureColdFallbacks
 	s.FaultsInjected += o.FaultsInjected
+	s.Lukewarm += o.Lukewarm
+	s.TierHits += o.TierHits
+	s.TierMisses += o.TierMisses
+	s.SnapshotsDemoted += o.SnapshotsDemoted
+	s.SnapshotsPromoted += o.SnapshotsPromoted
+	s.SnapshotsPrewarmed += o.SnapshotsPrewarmed
 }
 
 // managedUC pairs a UC with its host environment so later operations
@@ -512,14 +541,16 @@ var invokeSeq atomic.Uint64
 // Per-path metric indices, so finish records without branching.
 var (
 	pathCounters = [...]metrics.Counter{
-		PathCold: metrics.CtrColdInvocations,
-		PathWarm: metrics.CtrWarmInvocations,
-		PathHot:  metrics.CtrHotInvocations,
+		PathCold:     metrics.CtrColdInvocations,
+		PathWarm:     metrics.CtrWarmInvocations,
+		PathHot:      metrics.CtrHotInvocations,
+		PathLukewarm: metrics.CtrLukewarmInvocations,
 	}
 	pathHists = [...]metrics.Hist{
-		PathCold: metrics.HistColdLatency,
-		PathWarm: metrics.HistWarmLatency,
-		PathHot:  metrics.HistHotLatency,
+		PathCold:     metrics.HistColdLatency,
+		PathWarm:     metrics.HistWarmLatency,
+		PathHot:      metrics.HistHotLatency,
+		PathLukewarm: metrics.HistLukewarmLatency,
 	}
 )
 
@@ -542,9 +573,21 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 		return n.finish(start, id, req.Key, PathHot, out, err)
 	}
 
-	// Warm path: deploy from the function snapshot.
-	if entry, ok := n.fnSnaps[req.Key]; ok {
+	// Warm path: deploy from the function snapshot. On a miss, consult
+	// the disk tier: a hit there promotes the encoded diff (read, CRC
+	// check, graft onto the resident base) and serves the request
+	// lukewarm — no interpreter replay, unlike cold.
+	path := PathWarm
+	entry, ok := n.fnSnaps[req.Key]
+	if ok {
 		n.cfg.Metrics.Inc(metrics.CtrSnapshotStackHits)
+	} else {
+		n.cfg.Metrics.Inc(metrics.CtrSnapshotStackMisses)
+		if entry = n.promoteForInvoke(p, req.Key, id); entry != nil {
+			ok, path = true, PathLukewarm
+		}
+	}
+	if ok {
 		entry.last = n.eng.Now()
 		mu, err := n.deploy(p, entry.snap)
 		if err == nil {
@@ -554,7 +597,7 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 				return Result{}, cerr
 			}
 			out, rerr := n.runOn(p, mu, req)
-			return n.finish(start, id, req.Key, PathWarm, out, rerr)
+			return n.finish(start, id, req.Key, path, out, rerr)
 		}
 		if !errors.Is(err, ErrNodeSaturated) || req.Source == "" {
 			n.invokeError()
@@ -571,8 +614,6 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 			At: time.Duration(n.eng.Now()), Kind: trace.KindFault, ID: id, Key: req.Key,
 			Detail: "pressure: warm deploy saturated; serving cold",
 		})
-	} else {
-		n.cfg.Metrics.Inc(metrics.CtrSnapshotStackMisses)
 	}
 
 	// Cold path: deploy from the runtime snapshot, import and compile,
@@ -624,6 +665,8 @@ func (n *Node) finish(start sim.Time, id uint64, key string, path Path, out stri
 		n.stats.Cold++
 	case PathWarm:
 		n.stats.Warm++
+	case PathLukewarm:
+		n.stats.Lukewarm++
 	default:
 		n.stats.Hot++
 	}
@@ -918,6 +961,11 @@ func (n *Node) evictOneSnapshot(p *sim.Proc) bool {
 	if lru.snap.ActiveUCs() > 0 {
 		return false // a live invocation depends on it; try later
 	}
+	// Demote-before-delete: persist the encoded diff so the next miss
+	// is lukewarm, not cold. Export must precede Delete (a deleted
+	// snapshot cannot export); a failed demote degrades to plain
+	// destruction.
+	n.demoteSnapshot(p, lru.snap)
 	if err := lru.snap.Delete(); err != nil {
 		return false
 	}
@@ -951,6 +999,7 @@ func (n *Node) dropSnapshot(p *sim.Proc, key string) bool {
 	if entry.snap.ActiveUCs() > 0 || entry.snap.Children() > 0 {
 		return false
 	}
+	n.demoteSnapshot(p, entry.snap)
 	if err := entry.snap.Delete(); err != nil {
 		return false
 	}
@@ -961,6 +1010,175 @@ func (n *Node) dropSnapshot(p *sim.Proc, key string) bool {
 		At: time.Duration(n.eng.Now()), Kind: trace.KindEvict, Key: key,
 	})
 	return true
+}
+
+// ---- Snapshot disk tier: demotion and promotion ----
+
+// chargeTier charges the virtual time of one tier transfer against p
+// (nil for harness-side work outside the simulation).
+func (n *Node) chargeTier(p *sim.Proc, base, perPage time.Duration, pages int) {
+	if p == nil {
+		return
+	}
+	n.cores.Use(p, base+time.Duration(pages)*perPage)
+}
+
+// demoteSnapshot writes a snapshot's encoded diff into the disk tier —
+// before eviction deletes it, or as a drain-time flush that keeps the
+// snapshot resident. Failure, including a full tier, is absorbed: the
+// caller proceeds with plain destruction exactly as before the tier
+// existed, never erroring the invocation.
+func (n *Node) demoteSnapshot(p *sim.Proc, snap *snapshot.Snapshot) bool {
+	st := n.cfg.SnapStore
+	if st == nil || snap == nil {
+		return false
+	}
+	var buf bytes.Buffer
+	if err := snap.Export(&buf); err != nil {
+		return false
+	}
+	base := ""
+	if b := snap.Base(); b != nil {
+		base = b.Name()
+	}
+	if err := st.Put(snap.Name(), base, buf.Bytes()); err != nil {
+		return false
+	}
+	n.chargeTier(p, costs.SnapDemoteBase, costs.SnapDemotePerPage, snap.DiffPages())
+	n.stats.SnapshotsDemoted++
+	n.cfg.Metrics.Inc(metrics.CtrTierDemotions)
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(n.eng.Now()), Kind: trace.KindDemote, Key: snap.Name(),
+		Detail: fmt.Sprintf("%.1f MB diff", float64(snap.DiffBytes())/1e6),
+	})
+	return true
+}
+
+// residentSnapshot resolves a snapshot name against what is in RAM:
+// the runtime base images and the function-snapshot cache.
+func (n *Node) residentSnapshot(name string) *snapshot.Snapshot {
+	for _, snap := range n.runtimeSnaps {
+		if snap.Name() == name {
+			return snap
+		}
+	}
+	if key := strings.TrimPrefix(name, "fn/"); key != name {
+		if e, ok := n.fnSnaps[key]; ok {
+			return e.snap
+		}
+	}
+	return nil
+}
+
+// promote restores one encoded diff from the disk tier: read (single-
+// flight, CRC-verified by the store), decode, graft onto the resident
+// base, reattach the guest payload. A demoted base is promoted first,
+// recursively, so a whole snapshot stack restores as a unit. Promoted
+// "fn/" snapshots are installed into the function-snapshot cache; kind
+// distinguishes a lukewarm restore from a boot prewarm.
+func (n *Node) promote(p *sim.Proc, name string, id uint64, kind metrics.Counter) (*snapshot.Snapshot, error) {
+	st := n.cfg.SnapStore
+	if st == nil {
+		return nil, snapstore.ErrNotFound
+	}
+	data, err := st.Get(name)
+	if err != nil {
+		n.stats.TierMisses++
+		n.cfg.Metrics.Inc(metrics.CtrTierMisses)
+		return nil, err
+	}
+	n.stats.TierHits++
+	n.cfg.Metrics.Inc(metrics.CtrTierHits)
+	diff, err := snapshot.ImportBytes(data)
+	if err != nil {
+		// The store's CRC passed but the codec refused the bytes (a
+		// foreign or stale format) — the entry can never promote; drop it.
+		st.Delete(name)
+		return nil, err
+	}
+	if diff.Header.BaseName == "" {
+		return nil, fmt.Errorf("core: promote %q: root diffs are not promotable", name)
+	}
+	base := n.residentSnapshot(diff.Header.BaseName)
+	if base == nil {
+		if base, err = n.promote(p, diff.Header.BaseName, id, kind); err != nil {
+			return nil, fmt.Errorf("core: promote %q: base: %w", name, err)
+		}
+	}
+	snap, err := snapshot.Graft(diff, base)
+	if err != nil {
+		return nil, err
+	}
+	if len(diff.PayloadBytes) > 0 {
+		payload, perr := uc.DecodePayload(diff.PayloadBytes)
+		if perr != nil {
+			snap.Delete()
+			return nil, fmt.Errorf("core: promote %q: payload: %w", name, perr)
+		}
+		snap.SetPayload(payload)
+	}
+	n.chargeTier(p, costs.SnapPromoteBase, costs.SnapPromotePerPage, diff.Header.Pages)
+	if key := strings.TrimPrefix(name, "fn/"); key != name {
+		n.fnSnaps[key] = &fnEntry{snap: snap, last: n.eng.Now()}
+	}
+	n.stats.SnapshotsPromoted++
+	if kind == metrics.CtrTierPromotionsPrewarm {
+		n.stats.SnapshotsPrewarmed++
+	}
+	n.cfg.Metrics.Inc(kind)
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(n.eng.Now()), Kind: trace.KindPromote, ID: id, Key: name,
+		Detail: fmt.Sprintf("%.1f MB diff", float64(snap.DiffBytes())/1e6),
+	})
+	return snap, nil
+}
+
+// promoteForInvoke is the lukewarm branch of Invoke: on a warm miss it
+// attempts a promotion and returns the installed cache entry. nil —
+// tier miss, damaged entry, or a graft the memory budget refused —
+// sends the request down the cold path.
+func (n *Node) promoteForInvoke(p *sim.Proc, key string, id uint64) *fnEntry {
+	if n.cfg.SnapStore == nil || key == "" {
+		return nil
+	}
+	// A graft materializes the diff into fresh frames; make the same
+	// headroom the capture path does so promotion under memory pressure
+	// demotes a colder stack instead of exhausting the store mid-run.
+	n.evictSnapshotsIfNeeded(p)
+	if _, err := n.promote(p, "fn/"+key, id, metrics.CtrTierPromotionsLukewarm); err != nil {
+		return nil
+	}
+	// The graft consumed frames; restore the headroom the guest's own
+	// run-time allocations depend on. Under extreme pressure the victim
+	// may be the snapshot just promoted — the miss then degrades to a
+	// cold rebuild, which is still an answer, not an error.
+	n.evictSnapshotsIfNeeded(p)
+	return n.fnSnaps[key]
+}
+
+// PromoteLineage restores one lineage from the disk tier without
+// serving a request — the boot-time prewarm. Already-resident lineages
+// are left untouched. name is the tier key ("fn/<key>").
+func (n *Node) PromoteLineage(p *sim.Proc, name string) error {
+	if n.residentSnapshot(name) != nil {
+		return nil
+	}
+	_, err := n.promote(p, name, 0, metrics.CtrTierPromotionsPrewarm)
+	return err
+}
+
+// FlushSnapshots demotes every resident function snapshot into the
+// disk tier without deleting it — the graceful-drain persistence pass.
+// Returns how many entries were flushed (unchanged content re-flushes
+// are metadata-only in the store).
+func (n *Node) FlushSnapshots(p *sim.Proc) int {
+	count := 0
+	for _, entry := range n.fnSnaps {
+		if n.demoteSnapshot(p, entry.snap) {
+			count++
+		}
+	}
+	return count
 }
 
 // DeployIdle deploys a UC from the base runtime snapshot and leaves it

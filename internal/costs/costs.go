@@ -48,6 +48,33 @@ var (
 	Hypercall = 300 * time.Nanosecond
 )
 
+// ---- Snapshot disk tier (demotion / lukewarm promotion) ----
+//
+// The tier sits between RAM and a cold rebuild: promoting an encoded
+// diff from local disk must land strictly between the warm path (the
+// snapshot is resident) and the cold path (full interpreter replay,
+// dominated by CompileBase). Calibrated against NVMe-class sequential
+// reads of the ~0.5-2 MB diffs the NOP-function lineages produce.
+
+var (
+	// SnapDemoteBase is the fixed cost of demoting a snapshot: encode
+	// setup plus the write submission (the write itself completes
+	// asynchronously; eviction does not wait for durability).
+	SnapDemoteBase = 400 * time.Microsecond
+
+	// SnapDemotePerPage is charged per diff page encoded on demotion.
+	SnapDemotePerPage = 200 * time.Nanosecond
+
+	// SnapPromoteBase is the fixed cost of a lukewarm promotion: open +
+	// read submission, CRC verification, decode setup, graft
+	// bookkeeping.
+	SnapPromoteBase = 1200 * time.Microsecond
+
+	// SnapPromotePerPage is charged per diff page read and grafted onto
+	// the resident base during promotion.
+	SnapPromotePerPage = 500 * time.Nanosecond
+)
+
 // ---- Guest software stack (Rumprun + interpreter) ----
 
 var (

@@ -29,10 +29,12 @@ type Counter int
 // this order, with counters sharing a Prometheus family name adjacent,
 // so the exposition writer can group them under one HELP/TYPE header.
 const (
-	// Invocations by outcome (the paper's cold/warm/hot split).
+	// Invocations by outcome (the paper's cold/warm/hot split, plus
+	// the disk tier's lukewarm restores).
 	CtrColdInvocations Counter = iota
 	CtrWarmInvocations
 	CtrHotInvocations
+	CtrLukewarmInvocations
 	CtrInvokeErrors
 	// Cache behavior: snapshot-stack (function snapshot) lookups, idle
 	// UC (hot path) hits, and deploy-kit recycling.
@@ -46,6 +48,13 @@ const (
 	CtrUCsReclaimed
 	CtrSnapshotsCaptured
 	CtrSnapshotsEvicted
+	// Snapshot disk tier: lookups on the lukewarm path, evictions
+	// persisted as demotions, promotions back into RAM.
+	CtrTierHits
+	CtrTierMisses
+	CtrTierDemotions
+	CtrTierPromotionsLukewarm
+	CtrTierPromotionsPrewarm
 	// Failure containment.
 	CtrUCCrashes
 	CtrDeadlinesExceeded
@@ -75,6 +84,7 @@ const (
 	HistColdLatency Hist = iota
 	HistWarmLatency
 	HistHotLatency
+	HistLukewarmLatency
 
 	numHists
 )
@@ -86,10 +96,11 @@ type desc struct {
 }
 
 var counterDescs = [numCounters]desc{
-	CtrColdInvocations: {"seuss_invocations_total", "Invocations served, by path taken.", `path="cold"`},
-	CtrWarmInvocations: {"seuss_invocations_total", "", `path="warm"`},
-	CtrHotInvocations:  {"seuss_invocations_total", "", `path="hot"`},
-	CtrInvokeErrors:    {"seuss_invocation_errors_total", "Invocations that returned an error.", ""},
+	CtrColdInvocations:     {"seuss_invocations_total", "Invocations served, by path taken.", `path="cold"`},
+	CtrWarmInvocations:     {"seuss_invocations_total", "", `path="warm"`},
+	CtrHotInvocations:      {"seuss_invocations_total", "", `path="hot"`},
+	CtrLukewarmInvocations: {"seuss_invocations_total", "", `path="lukewarm"`},
+	CtrInvokeErrors:        {"seuss_invocation_errors_total", "Invocations that returned an error.", ""},
 
 	CtrSnapshotStackHits:   {"seuss_snapshot_stack_lookups_total", "Function-snapshot (snapshot stack) cache lookups on the warm path.", `result="hit"`},
 	CtrSnapshotStackMisses: {"seuss_snapshot_stack_lookups_total", "", `result="miss"`},
@@ -101,6 +112,12 @@ var counterDescs = [numCounters]desc{
 	CtrUCsReclaimed:      {"seuss_ucs_reclaimed_total", "Idle UCs destroyed by the OOM reclaim policy.", ""},
 	CtrSnapshotsCaptured: {"seuss_snapshots_captured_total", "Function snapshots captured on cold paths.", ""},
 	CtrSnapshotsEvicted:  {"seuss_snapshots_evicted_total", "Function snapshots evicted from the cache.", ""},
+
+	CtrTierHits:               {"seuss_snapshot_tier_lookups_total", "Disk-tier lookups on the lukewarm path.", `result="hit"`},
+	CtrTierMisses:             {"seuss_snapshot_tier_lookups_total", "", `result="miss"`},
+	CtrTierDemotions:          {"seuss_snapshot_tier_demotions_total", "Snapshots demoted to the disk tier instead of destroyed.", ""},
+	CtrTierPromotionsLukewarm: {"seuss_snapshot_tier_promotions_total", "Snapshots promoted from the disk tier back into RAM, by trigger.", `kind="lukewarm"`},
+	CtrTierPromotionsPrewarm:  {"seuss_snapshot_tier_promotions_total", "", `kind="prewarm"`},
 
 	CtrUCCrashes:                 {"seuss_uc_crashes_total", "UCs destroyed after a contained mid-invocation fault.", ""},
 	CtrDeadlinesExceeded:         {"seuss_deadlines_exceeded_total", "Invocations killed by their step-budget deadline.", ""},
@@ -121,9 +138,10 @@ var counterDescs = [numCounters]desc{
 }
 
 var histDescs = [numHists]desc{
-	HistColdLatency: {"seuss_invocation_latency_seconds", "Node-side invocation latency (virtual time), by path.", `path="cold"`},
-	HistWarmLatency: {"seuss_invocation_latency_seconds", "", `path="warm"`},
-	HistHotLatency:  {"seuss_invocation_latency_seconds", "", `path="hot"`},
+	HistColdLatency:     {"seuss_invocation_latency_seconds", "Node-side invocation latency (virtual time), by path.", `path="cold"`},
+	HistWarmLatency:     {"seuss_invocation_latency_seconds", "", `path="warm"`},
+	HistHotLatency:      {"seuss_invocation_latency_seconds", "", `path="hot"`},
+	HistLukewarmLatency: {"seuss_invocation_latency_seconds", "", `path="lukewarm"`},
 }
 
 // Recorder is one collection point's metric storage: a fixed array of

@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,7 @@ import (
 	"seuss/internal/metrics"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
+	"seuss/internal/snapstore"
 	"seuss/internal/uc"
 )
 
@@ -79,7 +81,10 @@ type Config struct {
 	// Node configures every shard's node identically. MemoryBytes is
 	// the WHOLE pool's budget; it is divided evenly across shards
 	// (shared-nothing, so each shard OOMs independently). Seed is the
-	// base seed; shard i runs with Seed+i.
+	// base seed; shard i runs with Seed+i. Node.SnapStore, when set, is
+	// shared by every shard — the store is internally synchronized and
+	// reads are single-flight, the one deliberate exception to the
+	// shared-nothing rule (disk, unlike the engines, is one device).
 	Node core.Config
 	// QueueDepth is each shard's request queue capacity (default 128).
 	QueueDepth int
@@ -136,7 +141,8 @@ type Result struct {
 	// RequestID is the invocation's process-unique request ID, carried
 	// on its trace span (core.Result.ID).
 	RequestID uint64
-	// Path is the invocation path taken ("cold", "warm", "hot").
+	// Path is the invocation path taken ("cold", "warm", "hot",
+	// "lukewarm").
 	Path core.Path
 	// Output is the driver's JSON response.
 	Output string
@@ -320,10 +326,16 @@ func (b *breaker) snapshot() (string, int64) {
 // invocation, or a control read of shard state.
 type request struct {
 	req      core.Request
-	stats    bool // control: snapshot shard stats instead of invoking
-	requeues int  // times a stalled shard pushed this request back
+	stats    bool   // control: snapshot shard stats instead of invoking
+	flush    bool   // control: demote resident snapshots to the disk tier
+	prewarm  string // control: promote this lineage from the disk tier
+	requeues int    // times a stalled shard pushed this request back
 	reply    chan response
 }
+
+// control reports whether the request is a control message (served
+// inside the owner goroutine, never stolen, rerouted, or stalled).
+func (r *request) control() bool { return r.stats || r.flush || r.prewarm != "" }
 
 // reqPool recycles request descriptors and their reply channels across
 // invocations — the front door's only steady-state allocations
@@ -339,16 +351,19 @@ func getRequest() *request { return reqPool.Get().(*request) }
 func putRequest(r *request) {
 	r.req = core.Request{}
 	r.stats = false
+	r.flush = false
+	r.prewarm = ""
 	r.requeues = 0
 	reqPool.Put(r)
 }
 
 type response struct {
-	res    core.Result
-	err    error
-	shard  int
-	stolen bool
-	stats  ShardStats
+	res     core.Result
+	err     error
+	shard   int
+	stolen  bool
+	stats   ShardStats
+	flushed int
 }
 
 // shard is one shared-nothing compute unit: engine + store + node,
@@ -588,6 +603,20 @@ func (s *shard) serve(r *request, stolen bool) {
 		}}
 		return
 	}
+	if r.flush {
+		var flushed int
+		s.eng.Go("flush", func(p *sim.Proc) { flushed = s.node.FlushSnapshots(p) })
+		s.eng.Run()
+		r.reply <- response{shard: s.id, flushed: flushed}
+		return
+	}
+	if r.prewarm != "" {
+		var err error
+		s.eng.Go("prewarm:"+r.prewarm, func(p *sim.Proc) { err = s.node.PromoteLineage(p, r.prewarm) })
+		s.eng.Run()
+		r.reply <- response{shard: s.id, err: err}
+		return
+	}
 
 	// Fault point: the shard stalls. The request is not dropped — it
 	// requeues to the overflow queue for a healthy shard (the stall
@@ -641,7 +670,7 @@ func (p *Pool) submit(r *request, owner int) error {
 		return ErrClosed
 	}
 	s := p.shards[owner]
-	if !p.cfg.DisableWorkStealing && !r.stats {
+	if !p.cfg.DisableWorkStealing && !r.control() {
 		allow, probe := s.breaker.route()
 		switch {
 		case !allow:
@@ -793,6 +822,79 @@ func (p *Pool) Stats() (Stats, error) {
 	}
 	return out, nil
 }
+
+// Prewarm promotes lineages from the shared disk tier's manifest into
+// their owner shards' snapshot caches, hottest (most recently used)
+// first — the boot-time restart-recovery pass, so a rebooted node's
+// first invocations go warm instead of cold. max bounds how many
+// lineages promote (<= 0: all). Returns how many promoted; lineages
+// whose promotion fails (damaged entry, memory budget) are skipped,
+// not fatal.
+func (p *Pool) Prewarm(max int) (int, error) {
+	st := p.cfg.Node.SnapStore
+	if st == nil {
+		return 0, nil
+	}
+	count := 0
+	for _, name := range st.KeysMRU() {
+		if max > 0 && count >= max {
+			break
+		}
+		key := strings.TrimPrefix(name, "fn/")
+		if key == name {
+			continue // mid-stack base, not a lineage: promoted on demand
+		}
+		r := getRequest()
+		r.prewarm = name
+		if err := p.submit(r, p.shardFor(key)); err != nil {
+			putRequest(r)
+			return count, err
+		}
+		resp, err := p.await(r)
+		if err != nil {
+			return count, err
+		}
+		putRequest(r)
+		if resp.err == nil {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// FlushSnapshots demotes every shard's resident function snapshots
+// into the shared disk tier without evicting them, then syncs the
+// manifest — the graceful-drain persistence pass. Returns the total
+// number of entries flushed across shards.
+func (p *Pool) FlushSnapshots() (int, error) {
+	st := p.cfg.Node.SnapStore
+	if st == nil {
+		return 0, nil
+	}
+	reqs := make([]*request, len(p.shards))
+	for i := range p.shards {
+		r := getRequest()
+		r.flush = true
+		if err := p.submit(r, i); err != nil {
+			putRequest(r)
+			return 0, err
+		}
+		reqs[i] = r
+	}
+	total := 0
+	for _, r := range reqs {
+		resp, err := p.await(r)
+		if err != nil {
+			return total, err
+		}
+		putRequest(r)
+		total += resp.flushed
+	}
+	return total, st.Sync()
+}
+
+// SnapStore returns the shared disk tier, nil when none is configured.
+func (p *Pool) SnapStore() *snapstore.Store { return p.cfg.Node.SnapStore }
 
 // Metrics merges the pool's routing counters with every shard's
 // recorder into one snapshot. Unlike Stats, the read does not route

@@ -1,0 +1,188 @@
+package shardpool
+
+import (
+	"fmt"
+	"testing"
+
+	"seuss/internal/core"
+	"seuss/internal/snapstore"
+)
+
+// tierConfig is testConfig plus a shared disk tier.
+func tierConfig(t *testing.T, shards int, capBytes int64) (Config, *snapstore.Store) {
+	t.Helper()
+	store, err := snapstore.Open(t.TempDir(), capBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(shards)
+	cfg.Node.SnapStore = store
+	return cfg, store
+}
+
+// TestPoolFlushAndLukewarmRestart is the process-restart round trip at
+// pool scope: flush a running pool's function snapshots to the shared
+// store, start a fresh pool over the same directory, and every
+// function's first invocation is served lukewarm — from disk, with the
+// exact output an uninterrupted first run produced — instead of cold.
+func TestPoolFlushAndLukewarmRestart(t *testing.T) {
+	const fns = 6
+	cfg, store := tierConfig(t, 4, -1)
+
+	key := func(i int) string { return fmt.Sprintf("acct/fn%d", i) }
+	firstOutputs := make(map[string]string, fns)
+
+	poolA := newTestPool(t, cfg)
+	for i := 0; i < fns; i++ {
+		res, err := poolA.InvokeSync(key(i), nopSource, "{}")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Path != core.PathCold {
+			t.Fatalf("%s first path = %v, want cold", key(i), res.Path)
+		}
+		firstOutputs[key(i)] = res.Output
+	}
+	flushed, err := poolA.FlushSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed != fns {
+		t.Fatalf("flushed %d snapshots, want %d", flushed, fns)
+	}
+	if store.Len() != fns {
+		t.Fatalf("store holds %d entries, want %d", store.Len(), fns)
+	}
+	poolA.Close()
+
+	// "Restart": a brand-new pool sharing the same store directory.
+	poolB := newTestPool(t, cfg)
+	for i := 0; i < fns; i++ {
+		res, err := poolB.InvokeSync(key(i), nopSource, "{}")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Path != core.PathLukewarm {
+			t.Errorf("%s restart path = %v, want lukewarm", key(i), res.Path)
+		}
+		if res.Output != firstOutputs[key(i)] {
+			t.Errorf("%s lukewarm output %q != first-run output %q",
+				key(i), res.Output, firstOutputs[key(i)])
+		}
+	}
+	st, err := poolB.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node.Lukewarm != fns || st.Node.Cold != 0 {
+		t.Errorf("restart stats: lukewarm=%d cold=%d, want %d/0",
+			st.Node.Lukewarm, st.Node.Cold, fns)
+	}
+	if st.Node.TierHits < int64(fns) {
+		t.Errorf("tier hits = %d, want >= %d", st.Node.TierHits, fns)
+	}
+}
+
+// TestPoolPrewarmMakesFirstInvocationWarm: a restarted pool that
+// prewarms its lineages up front serves even the *first* request from
+// RAM (warm or hot), and a bounded prewarm restores only the
+// most-recently-used lineages.
+func TestPoolPrewarmMakesFirstInvocationWarm(t *testing.T) {
+	const fns = 5
+	cfg, _ := tierConfig(t, 2, -1)
+	key := func(i int) string { return fmt.Sprintf("acct/fn%d", i) }
+
+	poolA := newTestPool(t, cfg)
+	for i := 0; i < fns; i++ {
+		if _, err := poolA.InvokeSync(key(i), nopSource, "{}"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := poolA.FlushSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	poolA.Close()
+
+	poolB := newTestPool(t, cfg)
+	restored, err := poolB.Prewarm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != fns {
+		t.Fatalf("prewarm restored %d lineages, want %d", restored, fns)
+	}
+	for i := 0; i < fns; i++ {
+		res, err := poolB.InvokeSync(key(i), nopSource, "{}")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Path != core.PathWarm && res.Path != core.PathHot {
+			t.Errorf("%s post-prewarm path = %v, want warm or hot", key(i), res.Path)
+		}
+	}
+	st, err := poolB.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node.SnapshotsPrewarmed != fns {
+		t.Errorf("prewarmed = %d, want %d", st.Node.SnapshotsPrewarmed, fns)
+	}
+	if st.Node.Cold != 0 || st.Node.Lukewarm != 0 {
+		t.Errorf("prewarmed pool still promoted on demand: %+v", st.Node)
+	}
+	poolB.Close()
+
+	// Bounded prewarm: only the requested number of lineages restore.
+	poolC := newTestPool(t, cfg)
+	restored, err = poolC.Prewarm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Errorf("bounded prewarm restored %d lineages, want 2", restored)
+	}
+}
+
+// TestPoolRestartDeterminism extends the per-shard determinism contract
+// across a flush/restart boundary: two identical restarted pools replay
+// the same workload with identical per-invocation paths, outputs, and
+// virtual latencies.
+func TestPoolRestartDeterminism(t *testing.T) {
+	const fns = 4
+	key := func(i int) string { return fmt.Sprintf("acct/fn%d", i) }
+
+	run := func() []core.Result {
+		cfg, _ := tierConfig(t, 2, -1)
+		cfg.DisableWorkStealing = true
+		poolA := newTestPool(t, cfg)
+		for i := 0; i < fns; i++ {
+			if _, err := poolA.InvokeSync(key(i), nopSource, "{}"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := poolA.FlushSnapshots(); err != nil {
+			t.Fatal(err)
+		}
+		poolA.Close()
+
+		poolB := newTestPool(t, cfg)
+		var results []core.Result
+		for round := 0; round < 2; round++ {
+			for i := 0; i < fns; i++ {
+				res, err := poolB.InvokeSync(key(i), nopSource, "{}")
+				if err != nil {
+					t.Fatal(err)
+				}
+				results = append(results, core.Result{Path: res.Path, Output: res.Output, Latency: res.Latency})
+			}
+		}
+		return results
+	}
+
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Path != b[i].Path || a[i].Output != b[i].Output || a[i].Latency != b[i].Latency {
+			t.Fatalf("restarted runs diverged at invocation %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

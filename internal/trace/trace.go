@@ -45,6 +45,8 @@ const (
 	KindDestroy Kind = "destroy"
 	KindReclaim Kind = "reclaim"
 	KindEvict   Kind = "evict"
+	KindDemote  Kind = "demote"  // snapshot written to the disk tier
+	KindPromote Kind = "promote" // snapshot restored from the disk tier
 	KindMigrate Kind = "migrate"
 	KindFault   Kind = "fault" // injected or contained failure
 

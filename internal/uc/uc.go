@@ -21,6 +21,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"seuss/internal/costs"
@@ -375,24 +376,73 @@ func (u *UC) FootprintBytes() int64 {
 	return u.space.FootprintBytes() + int64(len(u.meta))*mem.PageSize
 }
 
+// wirePayload is Payload's serialized shape. The libos ramdisk maps are
+// flattened into path-sorted slices because gob iterates maps in random
+// order: the content-addressed snapshot tier keys entries by the hash
+// of the encoded image, so two marshals of the same payload must be
+// byte-identical.
+type wirePayload struct {
+	Libos     libos.State
+	Interp    interp.State
+	FilePaths []string
+	FileSizes []int64
+	AddrPaths []string
+	Addrs     []uint64
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler so the snapshot
 // codec can ship guest metadata alongside the page diff (on real
-// hardware this state lives inside the pages).
+// hardware this state lives inside the pages). The encoding is
+// deterministic: identical payloads marshal to identical bytes.
 func (pl Payload) MarshalBinary() ([]byte, error) {
-	// The alias type drops Payload's methods so gob does not recurse
-	// back into MarshalBinary.
-	type wire Payload
+	w := wirePayload{Libos: pl.Libos, Interp: pl.Interp}
+	w.Libos.Files, w.Libos.FileAddrs = nil, nil
+	for _, path := range sortedKeys(pl.Libos.Files) {
+		w.FilePaths = append(w.FilePaths, path)
+		w.FileSizes = append(w.FileSizes, pl.Libos.Files[path])
+	}
+	for _, path := range sortedKeys(pl.Libos.FileAddrs) {
+		w.AddrPaths = append(w.AddrPaths, path)
+		w.Addrs = append(w.Addrs, pl.Libos.FileAddrs[path])
+	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(wire(pl)); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // DecodePayload reverses Payload.MarshalBinary.
 func DecodePayload(data []byte) (Payload, error) {
-	type wire Payload
-	var w wire
-	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w)
-	return Payload(w), err
+	var w wirePayload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return Payload{}, err
+	}
+	if len(w.FilePaths) != len(w.FileSizes) || len(w.AddrPaths) != len(w.Addrs) {
+		return Payload{}, fmt.Errorf("uc: payload: mismatched ramdisk tables")
+	}
+	pl := Payload{Libos: w.Libos, Interp: w.Interp}
+	if len(w.FilePaths) > 0 {
+		pl.Libos.Files = make(map[string]int64, len(w.FilePaths))
+		for i, path := range w.FilePaths {
+			pl.Libos.Files[path] = w.FileSizes[i]
+		}
+	}
+	if len(w.AddrPaths) > 0 {
+		pl.Libos.FileAddrs = make(map[string]uint64, len(w.AddrPaths))
+		for i, path := range w.AddrPaths {
+			pl.Libos.FileAddrs[path] = w.Addrs[i]
+		}
+	}
+	return pl, nil
 }

@@ -14,7 +14,9 @@
 # page-fault resolution, and end-to-end sharded throughput (the
 # shards=1 sub-benchmark, so shard-count changes don't move the
 # goalposts). Keeping it in CI is what makes "allocation-free" a
-# property instead of a one-time measurement.
+# property instead of a one-time measurement. The snapshot-tier pair
+# (lukewarm restore vs the cold rebuild it replaces) rides along so a
+# regression cannot silently erase the lukewarm win.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,7 +27,7 @@ trap 'rm -f "$RAW"' EXIT
 
 echo "== running hot-path benchmarks (this takes ~15s)" >&2
 go test -run '^$' -count=1 \
-  -bench 'BenchmarkUCDeployRealTime$|BenchmarkSnapshotCaptureRealTime$|BenchmarkPageFaultRealTime$' \
+  -bench 'BenchmarkUCDeployRealTime$|BenchmarkSnapshotCaptureRealTime$|BenchmarkPageFaultRealTime$|BenchmarkLukewarmDeploy$|BenchmarkColdRebuildRealTime$' \
   -benchmem . | tee -a "$RAW" >&2
 go test -run '^$' -count=1 \
   -bench 'BenchmarkShardedThroughput/shards=1$' \

@@ -143,6 +143,9 @@ require '^seuss_invocations_total{path="hot"} 1$'
 require '^seuss_invocation_latency_seconds_bucket{path="cold",le="+Inf"} 1$'
 require '^seuss_invocation_latency_seconds_count{path="cold"} 1$'
 require '^seuss_snapshot_stack_lookups_total{result='
+require '^seuss_snapshot_tier_lookups_total{result='
+require '^seuss_snapshot_tier_promotions_total{kind='
+require '^seuss_invocations_total{path="lukewarm"} 0$'
 require '^seuss_deploy_kit_lookups_total{result='
 require '^seuss_ucs_deployed_total '
 require '^seuss_trace_dropped_total 0$'

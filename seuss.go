@@ -37,6 +37,7 @@ import (
 	"seuss/internal/metrics"
 	"seuss/internal/shardpool"
 	"seuss/internal/sim"
+	"seuss/internal/snapstore"
 	"seuss/internal/trace"
 	"seuss/internal/workload"
 )
@@ -139,7 +140,8 @@ type Invocation struct {
 	// node's trace carries it on the matching invoke span, so a result
 	// correlates with its timeline events.
 	RequestID uint64
-	// Path is "cold", "warm", or "hot".
+	// Path is "cold", "warm", "hot", or "lukewarm" (a disk-tier
+	// restore that skipped interpreter replay).
 	Path string
 	// Output is the driver's JSON response.
 	Output string
@@ -179,6 +181,7 @@ func (n *Node) InvokeSync(key, source, args string) (Invocation, error) {
 // NodeStats reports the node's counters.
 type NodeStats struct {
 	Cold, Warm, Hot   int64
+	Lukewarm          int64
 	Errors            int64
 	UCsDeployed       int64
 	UCsReclaimed      int64
@@ -187,6 +190,14 @@ type NodeStats struct {
 	CachedSnapshots   int
 	IdleUCs           int
 	MemoryUsedBytes   int64
+	// Snapshot disk-tier traffic: lookups against the store, evictions
+	// demoted to disk, stacks restored from it (prewarms are restores
+	// done ahead of any request, at boot or via Prewarm).
+	TierHits           int64
+	TierMisses         int64
+	SnapshotsDemoted   int64
+	SnapshotsPromoted  int64
+	SnapshotsPrewarmed int64
 	// Robustness is the failure-containment ledger: crashes contained,
 	// deadlines enforced, pressure degradations taken.
 	Robustness metrics.Robustness
@@ -209,15 +220,21 @@ func (n *Node) Stats() NodeStats {
 	st := n.node.Stats()
 	return NodeStats{
 		Cold: st.Cold, Warm: st.Warm, Hot: st.Hot,
-		Errors:            st.Errors,
-		UCsDeployed:       st.UCsDeployed,
-		UCsReclaimed:      st.UCsReclaimed,
-		SnapshotsCaptured: st.SnapshotsCaptured,
-		SnapshotsEvicted:  st.SnapshotsEvicted,
-		CachedSnapshots:   n.node.CachedSnapshots(),
-		IdleUCs:           n.node.IdleUCs(),
-		MemoryUsedBytes:   n.node.MemStats().BytesInUse,
-		Robustness:        robustnessOf(st),
+		Lukewarm:           st.Lukewarm,
+		Errors:             st.Errors,
+		UCsDeployed:        st.UCsDeployed,
+		UCsReclaimed:       st.UCsReclaimed,
+		SnapshotsCaptured:  st.SnapshotsCaptured,
+		SnapshotsEvicted:   st.SnapshotsEvicted,
+		CachedSnapshots:    n.node.CachedSnapshots(),
+		IdleUCs:            n.node.IdleUCs(),
+		MemoryUsedBytes:    n.node.MemStats().BytesInUse,
+		TierHits:           st.TierHits,
+		TierMisses:         st.TierMisses,
+		SnapshotsDemoted:   st.SnapshotsDemoted,
+		SnapshotsPromoted:  st.SnapshotsPromoted,
+		SnapshotsPrewarmed: st.SnapshotsPrewarmed,
+		Robustness:         robustnessOf(st),
 	}
 }
 
@@ -352,15 +369,21 @@ func (p *NodePool) Stats() (PoolStats, error) {
 	return PoolStats{
 		NodeStats: NodeStats{
 			Cold: st.Node.Cold, Warm: st.Node.Warm, Hot: st.Node.Hot,
-			Errors:            st.Node.Errors,
-			UCsDeployed:       st.Node.UCsDeployed,
-			UCsReclaimed:      st.Node.UCsReclaimed,
-			SnapshotsCaptured: st.Node.SnapshotsCaptured,
-			SnapshotsEvicted:  st.Node.SnapshotsEvicted,
-			CachedSnapshots:   st.CachedSnapshots,
-			IdleUCs:           st.IdleUCs,
-			MemoryUsedBytes:   st.MemoryUsedBytes,
-			Robustness:        rob,
+			Lukewarm:           st.Node.Lukewarm,
+			Errors:             st.Node.Errors,
+			UCsDeployed:        st.Node.UCsDeployed,
+			UCsReclaimed:       st.Node.UCsReclaimed,
+			SnapshotsCaptured:  st.Node.SnapshotsCaptured,
+			SnapshotsEvicted:   st.Node.SnapshotsEvicted,
+			CachedSnapshots:    st.CachedSnapshots,
+			IdleUCs:            st.IdleUCs,
+			MemoryUsedBytes:    st.MemoryUsedBytes,
+			TierHits:           st.Node.TierHits,
+			TierMisses:         st.Node.TierMisses,
+			SnapshotsDemoted:   st.Node.SnapshotsDemoted,
+			SnapshotsPromoted:  st.Node.SnapshotsPromoted,
+			SnapshotsPrewarmed: st.Node.SnapshotsPrewarmed,
+			Robustness:         rob,
 		},
 		Stolen:   st.Stolen,
 		Requeued: st.Requeued,
@@ -379,11 +402,53 @@ func (p *NodePool) Metrics() Metrics { return p.pool.Metrics() }
 // Shards returns the shard count.
 func (p *NodePool) Shards() int { return p.pool.Shards() }
 
+// Prewarm promotes up to max snapshot stacks (0 = all) from the pool's
+// snapshot store back into shard memory, most-recently-used first, so a
+// restarted pool serves its hot lineages warm instead of lukewarm. It
+// returns how many function lineages were restored; without a store it
+// is a no-op.
+func (p *NodePool) Prewarm(max int) (int, error) { return p.pool.Prewarm(max) }
+
+// FlushSnapshots demotes every resident function snapshot on every
+// shard to the pool's snapshot store and syncs its manifest — the
+// graceful-drain counterpart to Prewarm. It returns how many snapshots
+// were written; without a store it is a no-op.
+func (p *NodePool) FlushSnapshots() (int, error) { return p.pool.FlushSnapshots() }
+
+// SnapshotStore returns the disk tier shared by the pool's shards, or
+// nil if the pool runs memory-only.
+func (p *NodePool) SnapshotStore() *SnapshotStore { return p.pool.SnapStore() }
+
 // Pool exposes the underlying shard pool for advanced use.
 func (p *NodePool) Pool() *shardpool.Pool { return p.pool }
 
 // Close stops the shard goroutines; quiesce callers first.
 func (p *NodePool) Close() { p.pool.Close() }
+
+// ---- Snapshot disk tier ----
+
+// SnapshotStore is the content-addressed on-disk snapshot tier.
+// Evicted snapshot stacks demote into it instead of being destroyed;
+// later invocations of the same function promote them back (the
+// "lukewarm" path — slower than warm, far faster than cold), and a
+// restarted process prewarms from it. Entries are CRC-verified on read,
+// written atomically, and bounded by a byte-capacity LRU whose
+// evictions cascade through snapshot-stack dependencies. Safe for
+// concurrent use; one store may back every shard of a pool.
+type SnapshotStore = snapstore.Store
+
+// SnapshotStoreStats is a store's counters: tier hits/misses, puts,
+// evictions, corrupt entries dropped, and current entry/byte footprint.
+type SnapshotStoreStats = snapstore.Stats
+
+// OpenSnapshotStore opens (creating if absent) a snapshot store rooted
+// at dir, recovering from any earlier crash: partial temp files are
+// deleted, orphaned snapshot files are re-adopted, corrupt ones are
+// dropped. capBytes bounds the store (<0 = unlimited, 0 = reject all
+// writes). Attach it via NodeConfig.SnapStore.
+func OpenSnapshotStore(dir string, capBytes int64) (*SnapshotStore, error) {
+	return snapstore.Open(dir, capBytes)
+}
 
 // ---- Platform (OpenWhisk-like cluster) ----
 
