@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	seuss-experiments [-run all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8]
+//	seuss-experiments [-run all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fabric]
 //	                  [-out DIR] [-quick] [-seed N]
 //
 // -quick shrinks iteration counts and sweep ranges for a fast pass;
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, fig6, fig7, fig8")
+	run := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, fig6, fig7, fig8, fabric")
 	out := flag.String("out", "", "directory for TSV outputs (default: none written)")
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
@@ -96,6 +96,19 @@ func main() {
 		}
 		fmt.Println(f.Render())
 		writeTSV("figure4.tsv", f.TSV())
+	}
+	if want("fabric") {
+		cfg := experiments.FabricConfig{Seed: *seed}
+		if *quick {
+			cfg.SetSizes = []int{64, 256, 1024}
+			cfg.N = 400
+		}
+		f, err := experiments.RunFabric(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Render())
+		writeTSV("fabric.tsv", f.TSV())
 	}
 	if want("fig5") {
 		n := 1000

@@ -215,6 +215,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		body["snapshot_tier"] = map[string]interface{}{
 			"entries":          ss.Entries,
 			"bytes":            ss.Bytes,
+			"disk_files":       ss.DiskFiles,
+			"disk_bytes":       ss.DiskBytes,
 			"hits":             ss.Hits,
 			"misses":           ss.Misses,
 			"puts":             ss.Puts,

@@ -5,41 +5,51 @@
 // The enabling properties are exactly the ones §9 names: snapshots are
 // read-only, and every UC is configured with an identical network
 // identity, so a snapshot captured on one node can be cloned and
-// deployed on any node with the same base runtime snapshot. The cluster
-// keeps a directory mapping function keys to holder nodes; on a
-// directory hit the request is either routed to a holder or the
-// page-level diff is migrated over the cluster network (10 GbE in the
-// paper's testbed) and grafted onto the local base image, whichever the
-// policy prefers. Either way, a function is cold at most once per
-// *cluster* rather than once per node.
+// deployed on any node with the same base runtime snapshot. Placement
+// lives in internal/sched: the cluster feeds the placer a gossiped view
+// of which node holds which lineage, verifies its decision against
+// ground truth (pruning stale entries), and executes the mechanics —
+// route to a holder, migrate a whole diff, or, when both ends run the
+// content-addressed snapshot fabric (Config.SnapDir), fetch only the
+// stack layers the destination is missing. Identical base layers dedupe
+// by FNV-64a digest and are stored once per node, so a function is cold
+// at most once per *cluster* and its runtime image ships zero times.
 package cluster
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"seuss/internal/core"
 	"seuss/internal/fault"
+	"seuss/internal/mem"
+	"seuss/internal/metrics"
+	"seuss/internal/sched"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
+	"seuss/internal/snapstore"
+	"seuss/internal/trace"
 )
 
 // ErrNoNodes is returned when the cluster has no members.
 var ErrNoNodes = errors.New("cluster: no nodes")
 
 // Policy selects how a node without a local snapshot exploits a remote
-// holder.
+// holder. It is shorthand for the two built-in placers; Config.Placer
+// overrides it entirely.
 type Policy int
 
 const (
 	// PolicyRoute forwards the request to a node that already holds
 	// the snapshot (cheap, but hotspots the holder).
 	PolicyRoute Policy = iota
-	// PolicyMigrate pulls the snapshot diff to the chosen node and
-	// deploys locally (pays one transfer, then the function is warm on
-	// both nodes).
+	// PolicyMigrate replicates the snapshot to the chosen node when the
+	// holder is overloaded — by layer fetch on the fabric, by whole-diff
+	// migration otherwise (pays one transfer, then the function is warm
+	// on both nodes).
 	PolicyMigrate
 )
 
@@ -55,14 +65,31 @@ type Config struct {
 	// NodeConfig configures each member identically ("similar hardware
 	// profiles").
 	NodeConfig core.Config
-	// Policy picks route-vs-migrate on remote snapshot hits (default
-	// PolicyMigrate — the replicated cache of §9).
+	// Policy picks route-vs-replicate on remote snapshot hits (default
+	// PolicyMigrate — the replicated cache of §9). Ignored when Placer
+	// is set.
 	Policy Policy
+	// Placer overrides the placement policy entirely (default: a
+	// sched.LocalityPlacer configured from Policy).
+	Placer sched.Placer
 	// LinkBandwidth is the inter-node network bandwidth
 	// (default 10 Gb/s, the paper's testbed fabric).
 	LinkBandwidth float64 // bytes/second
 	// LinkRTT is the inter-node round trip (default 150 µs).
 	LinkRTT time.Duration
+	// GossipInterval is how often (in virtual time) members exchange
+	// snapshot manifests with the scheduler view (default 10 ms). The
+	// exchange is lazy — it piggybacks on the next Invoke past the
+	// deadline — so an idle cluster gossips nothing.
+	GossipInterval time.Duration
+	// SnapDir enables the content-addressed snapshot fabric: each member
+	// gets a disk tier at SnapDir/node<i>, seeded with byte-identical
+	// runtime base layers, and locality misses fetch only missing stack
+	// layers instead of migrating whole diffs. Empty disables the fabric
+	// (node-local behavior, migrate-only replication).
+	SnapDir string
+	// SnapDiskCap bounds each member's tier in bytes (0 = unlimited).
+	SnapDiskCap int64
 	// MaxRetries is the retry budget for contained faults: after a
 	// member fails an invocation with a contained error, the cluster
 	// re-picks a member and retries up to MaxRetries times (default 0 =
@@ -73,10 +100,17 @@ type Config struct {
 	RetryBackoff time.Duration
 	// Faults configures deterministic fault injection. The cluster
 	// keeps the base injector for fabric-level points (snapshot
-	// corruption mid-migrate); each member node derives a private child
-	// injector for node-level points (UC crashes), unless NodeConfig
-	// already carries one.
+	// corruption, gossip and fetch drops); each member node derives a
+	// private child injector for node-level points (UC crashes), unless
+	// NodeConfig already carries one.
 	Faults fault.Config
+	// Metrics receives cluster-level counters (scheduler placements,
+	// gossip, layer transfers); shared with members whose NodeConfig
+	// carries none. Nil disables.
+	Metrics *metrics.Recorder
+	// Tracer receives cluster-level spans (gossip, fetch, stale prunes);
+	// shared with members whose NodeConfig carries none. Nil disables.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LinkRTT == 0 {
 		c.LinkRTT = 150 * time.Microsecond
+	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = 10 * time.Millisecond
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = time.Millisecond
@@ -101,10 +138,25 @@ type Stats struct {
 	LocalHits int64
 	// RemoteRoutes forwarded to a holder node.
 	RemoteRoutes int64
-	// Migrations pulled a snapshot diff across the fabric.
+	// Migrations pulled a whole snapshot diff across the fabric.
 	Migrations int64
-	// MigratedBytes is the total diff traffic.
+	// MigratedBytes is the total whole-diff traffic.
 	MigratedBytes int64
+	// Fetches replicated a function by shipping only its missing stack
+	// layers from a holder's tier.
+	Fetches int64
+	// FetchedBytes is the total layer traffic (deduped layers ship 0).
+	FetchedBytes int64
+	// LayerDedups counts stack layers a fetch skipped because the
+	// destination already held identical content (by digest).
+	LayerDedups int64
+	// FailedFetches counts layer fetches abandoned mid-flight (missing
+	// source, rejected verification — including injected corruption — or
+	// promote failure); each fell back to serving from the holder.
+	FailedFetches int64
+	// FetchRetransmits counts injected fetch packet drops (each cost one
+	// extra RTT).
+	FetchRetransmits int64
 	// ClusterColds are first-in-cluster cold paths.
 	ClusterColds int64
 	// Retries counts re-picked invocations after contained faults.
@@ -113,12 +165,24 @@ type Stats struct {
 	// (export, decode — including injected corruption — or graft
 	// failure); each fell back to serving from the holder.
 	FailedMigrations int64
+	// StaleDirectory counts placements that tripped over a holder that
+	// no longer had the snapshot; the entry was pruned and the request
+	// re-placed.
+	StaleDirectory int64
+	// GossipRounds counts completed manifest-exchange rounds.
+	GossipRounds int64
+	// GossipDrops counts member exchanges lost to injected faults (the
+	// view stays stale for that member until the next round).
+	GossipDrops int64
 }
 
 // Member is one compute node in the cluster.
 type Member struct {
-	ID       int
-	Node     *core.Node
+	ID   int
+	Node *core.Node
+	// Store is the member's content-addressed disk tier; nil unless the
+	// fabric is enabled (Config.SnapDir).
+	Store    *snapstore.Store
 	inflight int
 }
 
@@ -127,15 +191,25 @@ type Cluster struct {
 	eng     *sim.Engine
 	cfg     Config
 	members []*Member
-	// directory maps function key → IDs of nodes holding its snapshot.
-	directory map[string][]int
-	// migrating tracks in-flight diff transfers per function so
-	// concurrent requests do not re-ship the same pages.
+	// view is the scheduler's shared residency/manifest state, refreshed
+	// by gossip and updated synchronously on transfers the cluster
+	// itself performs.
+	view *sched.View
+	// placer turns the view plus load state into placement decisions. It
+	// is single-writer: only the cluster touches it.
+	placer sched.Placer
+	// migrating tracks in-flight transfers per function so concurrent
+	// requests do not re-ship the same pages.
 	migrating map[string]bool
-	cursor    int // round-robin tie-breaker for the balancer
 	stats     Stats
 	// faults is the fabric-level injector (nil when disabled).
 	faults *fault.Injector
+	rec    *metrics.Recorder
+	tr     *trace.Tracer
+
+	lastGossip sim.Time
+	gossiped   bool
+	scratch    []sched.NodeState // reused placement input
 }
 
 // New boots n identical nodes and links them.
@@ -144,29 +218,86 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	if cfg.Nodes <= 0 {
 		return nil, ErrNoNodes
 	}
+	placer := cfg.Placer
+	if placer == nil {
+		placer = &sched.LocalityPlacer{Replicate: cfg.Policy == PolicyMigrate}
+	}
 	c := &Cluster{
 		eng:       eng,
 		cfg:       cfg,
-		directory: make(map[string][]int),
+		view:      sched.NewView(cfg.Nodes),
+		placer:    placer,
 		migrating: make(map[string]bool),
 		faults:    fault.New(cfg.Faults),
+		rec:       cfg.Metrics,
+		tr:        cfg.Tracer,
 	}
-	for i := 0; i < cfg.Nodes; i++ {
-		nc := cfg.NodeConfig
-		if nc.Cores == 0 && nc.MemoryBytes == 0 && !nc.NetworkAO && !nc.InterpreterAO && !nc.DisableAO {
-			nc = core.DefaultConfig()
+
+	base := cfg.NodeConfig
+	if base.Cores == 0 && base.MemoryBytes == 0 && !base.NetworkAO && !base.InterpreterAO && !base.DisableAO {
+		base = core.DefaultConfig()
+	}
+
+	// With the fabric on, every member's tier is seeded from ONE
+	// canonical boot per runtime: the encoded base layers are
+	// byte-identical across nodes, so they share one FNV-64a digest
+	// cluster-wide and a fetch never re-ships them.
+	var seeds map[string][]byte
+	if cfg.SnapDir != "" {
+		seeds = make(map[string][]byte)
+		for _, name := range base.Normalized().Runtimes {
+			snap, err := core.BootRuntime(mem.NewStore(0), base, name)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: seed runtime %q: %w", name, err)
+			}
+			var buf bytes.Buffer
+			err = snap.Export(&buf)
+			snap.Delete()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: seed runtime %q: %w", name, err)
+			}
+			seeds["runtime/"+name] = buf.Bytes()
 		}
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		nc := base
 		nc.Seed = nc.Seed + int64(i)
 		if nc.Faults == nil {
 			// Child(i+1) keeps member injectors distinct from the
 			// cluster's own (Child(0) would alias the base seed).
 			nc.Faults = fault.New(cfg.Faults.Child(i + 1))
 		}
+		if nc.Metrics == nil {
+			nc.Metrics = cfg.Metrics
+		}
+		if nc.Tracer == nil {
+			nc.Tracer = cfg.Tracer
+		}
+		var store *snapstore.Store
+		if cfg.SnapDir != "" {
+			capBytes := cfg.SnapDiskCap
+			if capBytes == 0 {
+				capBytes = -1
+			}
+			var err error
+			store, err = snapstore.Open(filepath.Join(cfg.SnapDir, fmt.Sprintf("node%d", i)), capBytes)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: node %d tier: %w", i, err)
+			}
+			for key, enc := range seeds {
+				if err := store.Put(key, "", enc); err != nil {
+					return nil, fmt.Errorf("cluster: node %d seed %q: %w", i, key, err)
+				}
+			}
+			nc.SnapStore = store
+		}
 		node, err := core.NewNode(eng, nc)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
-		c.members = append(c.members, &Member{ID: i, Node: node})
+		c.members = append(c.members, &Member{ID: i, Node: node, Store: store})
+		c.view.SetFabric(i, store != nil)
 	}
 	return c, nil
 }
@@ -177,11 +308,13 @@ func (c *Cluster) Members() []*Member { return c.members }
 // Stats returns cluster counters.
 func (c *Cluster) Stats() Stats { return c.stats }
 
-// Holders returns the nodes currently registered for a function.
+// View returns the scheduler's shared state (safe for concurrent use).
+func (c *Cluster) View() *sched.View { return c.view }
+
+// Holders returns the nodes the scheduler believes hold a function's
+// snapshot in RAM, in ascending node order.
 func (c *Cluster) Holders(key string) []int {
-	out := make([]int, len(c.directory[key]))
-	copy(out, c.directory[key])
-	return out
+	return c.view.ResidentHolders(key)
 }
 
 // transferTime models shipping bytes across the fabric.
@@ -189,40 +322,14 @@ func (c *Cluster) transferTime(bytes int64) time.Duration {
 	return c.cfg.LinkRTT + time.Duration(float64(bytes)/c.cfg.LinkBandwidth*float64(time.Second))
 }
 
-// leastLoaded returns the member with the fewest requests in flight;
-// ties rotate round-robin so sequential traffic still spreads.
-func (c *Cluster) leastLoaded() *Member {
-	n := len(c.members)
-	best := c.members[c.cursor%n]
-	for i := 1; i < n; i++ {
-		m := c.members[(c.cursor+i)%n]
-		if m.inflight < best.inflight {
-			best = m
+// isLeastLoaded reports whether no member carries less than m.
+func (c *Cluster) isLeastLoaded(m *Member) bool {
+	for _, o := range c.members {
+		if o.inflight < m.inflight {
+			return false
 		}
 	}
-	c.cursor++
-	return best
-}
-
-// holderFor returns the least-loaded member holding key, or nil.
-func (c *Cluster) holderFor(key string) *Member {
-	var best *Member
-	for _, id := range c.directory[key] {
-		m := c.members[id]
-		if best == nil || m.inflight < best.inflight {
-			best = m
-		}
-	}
-	return best
-}
-
-func (c *Cluster) register(key string, id int) {
-	for _, existing := range c.directory[key] {
-		if existing == id {
-			return
-		}
-	}
-	c.directory[key] = append(c.directory[key], id)
+	return true
 }
 
 // Invoke services one invocation somewhere in the cluster and returns
@@ -236,6 +343,7 @@ func (c *Cluster) Invoke(p *sim.Proc, req core.Request) (core.Result, int, error
 	if len(c.members) == 0 {
 		return core.Result{}, -1, ErrNoNodes
 	}
+	c.maybeGossip()
 	backoff := c.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		target := c.pick(p, req)
@@ -243,7 +351,7 @@ func (c *Cluster) Invoke(p *sim.Proc, req core.Request) (core.Result, int, error
 		res, err := target.Node.Invoke(p, req)
 		target.inflight--
 		if err == nil {
-			c.register(req.Key, target.ID)
+			c.view.MarkResident(target.ID, req.Key)
 			return res, target.ID, nil
 		}
 		if attempt >= c.cfg.MaxRetries || !fault.IsContained(err) {
@@ -255,38 +363,124 @@ func (c *Cluster) Invoke(p *sim.Proc, req core.Request) (core.Result, int, error
 	}
 }
 
-// pick chooses (and, under PolicyMigrate, prepares) the serving node.
+// maybeGossip runs a manifest-exchange round if the interval elapsed:
+// every member reports its RAM-resident snapshot keys and (on the
+// fabric) its tier manifest, wholesale-replacing the scheduler view.
+// The exchange itself is metadata-sized and charges no virtual time; an
+// injected PointGossipDrop loses one member's report, leaving its view
+// stale until the next round.
+func (c *Cluster) maybeGossip() {
+	now := c.eng.Now()
+	if c.gossiped && now.Sub(c.lastGossip) < c.cfg.GossipInterval {
+		return
+	}
+	c.gossiped = true
+	c.lastGossip = now
+	for _, m := range c.members {
+		if c.faults.Fire(fault.PointGossipDrop) {
+			c.stats.GossipDrops++
+			c.rec.Inc(metrics.CtrGossipDrops)
+			c.tr.Record(trace.Event{
+				At: time.Duration(now), Kind: trace.KindFault, ID: uint64(m.ID),
+				Key: "gossip", Detail: "manifest exchange dropped; view stays stale one round",
+			})
+			continue
+		}
+		var layers []sched.Layer
+		if m.Store != nil {
+			for _, l := range m.Store.Manifest() {
+				layers = append(layers, sched.Layer{Key: l.Key, Base: l.Base, Digest: l.Digest, Size: l.Size})
+			}
+		}
+		c.view.Refresh(m.ID, m.Node.SnapshotKeys(), layers)
+	}
+	c.stats.GossipRounds++
+	c.rec.Inc(metrics.CtrGossipRounds)
+	c.tr.Record(trace.Event{
+		At: time.Duration(now), Kind: trace.KindGossip,
+		Detail: fmt.Sprintf("round %d, view gen %d", c.stats.GossipRounds, c.view.Generation()),
+	})
+}
+
+// pruneStale drops a scheduler entry the placement verifier caught
+// lying — the holder no longer has the snapshot (RAM or tier) — so the
+// next placement does not re-hit it.
+func (c *Cluster) pruneStale(node int, key, lineage string) {
+	c.view.DropResident(node, key)
+	c.view.DropLayer(node, lineage)
+	c.stats.StaleDirectory++
+	c.rec.Inc(metrics.CtrSchedStaleEntries)
+	c.tr.Record(trace.Event{
+		At: time.Duration(c.eng.Now()), Kind: trace.KindStale, ID: uint64(node),
+		Key: key, Detail: "holder no longer resident; entry pruned, request re-placed",
+	})
+}
+
+// pick asks the placer for a decision, verifies it against node ground
+// truth (the view may lag gossip), prunes stale entries, and executes
+// the transfer mechanics. Bounded re-placement: after one prune per
+// member the request serves cold rather than looping.
 func (c *Cluster) pick(p *sim.Proc, req core.Request) *Member {
-	// Any node already warm for this function?
-	if holder := c.holderFor(req.Key); holder != nil {
-		least := c.leastLoaded()
-		// Balanced enough: serve from a holder.
-		if c.cfg.Policy == PolicyRoute || holder.inflight <= least.inflight+1 {
-			if holder.Node.HasSnapshot(req.Key) || holder.Node.HasIdleUC(req.Key) {
-				c.stats.LocalHitsOrRoute(holder == least)
+	lineage := "fn/" + req.Key
+	for tries := 0; ; tries++ {
+		c.scratch = c.scratch[:0]
+		for _, m := range c.members {
+			c.scratch = append(c.scratch, sched.NodeState{ID: m.ID, Inflight: m.inflight, Healthy: true})
+		}
+		pl := c.placer.Place(sched.Request{Key: req.Key, Lineage: lineage, Nodes: c.scratch, View: c.view})
+
+		switch pl.Action {
+		case sched.ActionCold:
+			c.stats.ClusterColds++
+			c.rec.Inc(metrics.CtrSchedPlacementsCold)
+			return c.members[pl.Node]
+
+		case sched.ActionRoute:
+			holder := c.members[pl.Node]
+			if holder.Node.HasSnapshot(req.Key) || holder.Node.HasIdleUC(req.Key) ||
+				(holder.Store != nil && holder.Store.Has(lineage)) {
+				c.rec.Inc(metrics.CtrSchedPlacementsRoute)
+				c.stats.LocalHitsOrRoute(c.isLeastLoaded(holder))
 				return holder
 			}
-			// Directory is stale (the holder evicted it): fall through.
-		}
-		// PolicyMigrate with an overloaded holder: serialize the diff on
-		// the holder, ship the bytes across the fabric, and graft them
-		// onto the target's base image. One transfer per function at a
-		// time; racers fall back to the holder.
-		if c.cfg.Policy == PolicyMigrate && holder.Node.HasSnapshot(req.Key) && !c.migrating[req.Key] {
-			if least.Node.HasSnapshot(req.Key) {
-				c.register(req.Key, least.ID)
-				return least
+			if tries >= len(c.members) {
+				c.stats.ClusterColds++
+				c.rec.Inc(metrics.CtrSchedPlacementsCold)
+				return holder
+			}
+			c.pruneStale(holder.ID, req.Key, lineage)
+
+		case sched.ActionFetch, sched.ActionMigrate:
+			holder, dst := c.members[pl.Holder], c.members[pl.Node]
+			if !holder.Node.HasSnapshot(req.Key) {
+				if tries >= len(c.members) {
+					c.stats.ClusterColds++
+					c.rec.Inc(metrics.CtrSchedPlacementsCold)
+					return dst
+				}
+				c.pruneStale(holder.ID, req.Key, lineage)
+				continue
+			}
+			if c.migrating[req.Key] {
+				// A racer is already shipping this function: serve from
+				// the holder rather than double-transferring.
+				c.rec.Inc(metrics.CtrSchedPlacementsRoute)
+				c.stats.LocalHitsOrRoute(false)
+				return holder
 			}
 			c.migrating[req.Key] = true
-			target := c.migrate(p, holder, least, req.Key)
+			var target *Member
+			if pl.Action == sched.ActionFetch {
+				c.rec.Inc(metrics.CtrSchedPlacementsFetch)
+				target = c.fetchLayers(p, holder, dst, req.Key)
+			} else {
+				c.rec.Inc(metrics.CtrSchedPlacementsMigrate)
+				target = c.migrate(p, holder, dst, req.Key)
+			}
 			delete(c.migrating, req.Key)
 			return target
 		}
-		return holder
 	}
-	// First sighting in the cluster: cold exactly once.
-	c.stats.ClusterColds++
-	return c.leastLoaded()
 }
 
 // migrate ships the holder's snapshot diff to dst over the fabric and
@@ -323,7 +517,98 @@ func (c *Cluster) migrate(p *sim.Proc, holder, dst *Member, key string) *Member 
 	}
 	c.stats.Migrations++
 	c.stats.MigratedBytes += n
-	c.register(key, dst.ID)
+	c.view.MarkResident(dst.ID, key)
+	return dst
+}
+
+// fetchLayers replicates a function to dst by shipping only the stack
+// layers dst's tier is missing, base-most first. The holder flushes the
+// lineage to its own tier (metadata-only when the bytes are unchanged),
+// then each layer either dedupes by digest (identical content already
+// on dst — the runtime base always does, shipping zero bytes) or
+// travels CRC-protected: a fetched layer must decode through the codec,
+// name the key it claims, and match the advertised digest before dst's
+// tier accepts it. Any failure abandons the fetch and the holder serves
+// — fetch failure degrades to routing, never to a failed invocation.
+func (c *Cluster) fetchLayers(p *sim.Proc, holder, dst *Member, key string) *Member {
+	lineage := "fn/" + key
+	start := c.eng.Now()
+	if !holder.Node.FlushLineage(p, key) && !holder.Store.Has(lineage) {
+		c.stats.FailedFetches++
+		return holder
+	}
+	stack := holder.Store.Stack(lineage)
+	if len(stack) == 0 {
+		c.stats.FailedFetches++
+		return holder
+	}
+	var moved int64
+	fetched, deduped := 0, 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		lk := stack[i]
+		layer, ok := holder.Store.Layer(lk)
+		if !ok {
+			c.stats.FailedFetches++
+			return holder
+		}
+		if have, ok := dst.Store.Layer(lk); ok && have.Digest == layer.Digest {
+			// Same key, same content: nothing ships.
+			c.stats.LayerDedups++
+			c.rec.Inc(metrics.CtrFabricLayersDeduped)
+			deduped++
+			continue
+		}
+		if dst.Store.HasDigest(layer.Digest) && dst.Store.LinkDigest(lk, layer.Base, layer.Digest) == nil {
+			// Identical content under another name: link, ship nothing.
+			c.stats.LayerDedups++
+			c.rec.Inc(metrics.CtrFabricLayersDeduped)
+			deduped++
+			continue
+		}
+		data, err := holder.Store.Get(lk)
+		if err != nil {
+			c.stats.FailedFetches++
+			return holder
+		}
+		// Copy before mutating: Get's single-flight shares the backing
+		// slice with concurrent readers.
+		wire := append([]byte(nil), data...)
+		if c.faults.Fire(fault.PointFetchDrop) {
+			// One dropped packet: pay a retransmit RTT and continue.
+			c.stats.FetchRetransmits++
+			p.Sleep(c.cfg.LinkRTT)
+		}
+		if c.faults.Fire(fault.PointSnapshotCorrupt) {
+			wire[len(wire)/2] ^= 0xff
+		}
+		p.Sleep(c.transferTime(int64(len(wire))))
+		if err := dst.Store.PutFetched(lk, layer.Base, wire, layer.Digest); err != nil {
+			c.stats.FailedFetches++
+			c.rec.Inc(metrics.CtrFabricLayersRejected)
+			c.tr.Record(trace.Event{
+				At: time.Duration(c.eng.Now()), Kind: trace.KindFault, ID: uint64(dst.ID),
+				Key: lk, Detail: fmt.Sprintf("fetched layer rejected: %v; holder serves", err),
+			})
+			return holder
+		}
+		moved += int64(len(wire))
+		fetched++
+		c.rec.Inc(metrics.CtrFabricLayersFetched)
+	}
+	if err := dst.Node.PromoteLineage(p, lineage); err != nil {
+		c.stats.FailedFetches++
+		return holder
+	}
+	c.stats.Fetches++
+	c.stats.FetchedBytes += moved
+	c.view.MarkResident(dst.ID, key)
+	now := c.eng.Now()
+	c.tr.Record(trace.Event{
+		At: time.Duration(start), Dur: time.Duration(now - start),
+		Kind: trace.KindFetch, ID: uint64(dst.ID), Key: key,
+		Path:   "fetch",
+		Detail: fmt.Sprintf("%d layers fetched (%d deduped), %.1f KB from node %d", fetched, deduped, float64(moved)/1e3, holder.ID),
+	})
 	return dst
 }
 

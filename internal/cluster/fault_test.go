@@ -15,7 +15,7 @@ import (
 // with ErrNoNodes rather than panicking in the balancer.
 func TestInvokeOnEmptyCluster(t *testing.T) {
 	eng := sim.NewEngine()
-	c := &Cluster{eng: eng, directory: map[string][]int{}, migrating: map[string]bool{}}
+	c := &Cluster{eng: eng, migrating: map[string]bool{}}
 	var err error
 	eng.Go("client", func(p *sim.Proc) {
 		_, _, err = c.Invoke(p, core.Request{Key: "fn", Source: workload.NOPSource, Args: "{}"})

@@ -11,7 +11,10 @@
 //     messages and adds the ≈8 ms hop of §6; and
 //   - SeussPoolBackend: the same shim front door over a sharded,
 //     shared-nothing node pool (internal/shardpool) instead of a
-//     single node.
+//     single node; and
+//   - SeussDistBackend: the shim front door over a multi-node
+//     DR-SEUSS cluster (internal/cluster) with scheduler-driven,
+//     snapshot-locality-aware placement.
 //
 // Both satisfy workload.Invoker, so every macro experiment runs
 // unmodified against either.
@@ -21,6 +24,7 @@ import (
 	"errors"
 	"time"
 
+	"seuss/internal/cluster"
 	"seuss/internal/core"
 	"seuss/internal/costs"
 	"seuss/internal/fault"
@@ -306,6 +310,58 @@ func (b *SeussPoolBackend) Invoke(p *sim.Proc, spec workload.Spec, args string) 
 	}
 	p.Sleep(res.Latency)
 	return nil
+}
+
+// ---- SEUSS distributed-cluster backend ----
+
+// SeussDistBackend fronts a multi-node DR-SEUSS cluster
+// (internal/cluster): the same shim-process front door, with placement
+// across nodes delegated to the cluster's scheduler — locality-aware
+// routing over the gossiped snapshot directory, and replication by
+// layer fetch or diff migration when a holder saturates.
+type SeussDistBackend struct {
+	cluster *cluster.Cluster
+	shim    *sim.Resource
+	rng     *sim.RNG
+	// Deadline, when set, bounds every invocation (see
+	// SeussBackend.Deadline).
+	Deadline time.Duration
+}
+
+// NewSeussDistBackend wraps a cluster for platform use. The cluster
+// must share the platform's engine. Unlike the single-node backends,
+// each member node runs its own shim process, so the front door has
+// one serialization lane per member.
+func NewSeussDistBackend(eng *sim.Engine, c *cluster.Cluster) *SeussDistBackend {
+	lanes := len(c.Members())
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &SeussDistBackend{
+		cluster: c,
+		shim:    sim.NewResource(eng, lanes),
+		rng:     sim.NewRNG(0x5E05),
+	}
+}
+
+// Cluster returns the underlying node cluster.
+func (b *SeussDistBackend) Cluster() *cluster.Cluster { return b.cluster }
+
+// Name implements Backend.
+func (b *SeussDistBackend) Name() string { return "seuss-dist" }
+
+// Invoke implements Backend: shim serialization and hop as for the
+// single-node backend, then the cluster scheduler places and serves the
+// request.
+func (b *SeussDistBackend) Invoke(p *sim.Proc, spec workload.Spec, args string) error {
+	b.shim.Acquire(p)
+	p.Sleep(b.rng.Jitter(costs.ShimSerialize, 0.08))
+	b.shim.Release()
+	p.Sleep(costs.ShimHop - costs.ShimSerialize)
+	_, _, err := b.cluster.Invoke(p, core.Request{
+		Key: spec.Key, Source: spec.Source, Args: args, Deadline: b.Deadline,
+	})
+	return err
 }
 
 // ---- Linux backend ----

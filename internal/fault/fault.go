@@ -49,6 +49,13 @@ const (
 	// PointProxyDrop drops an outbound proxy packet (core env.HTTPGet):
 	// the flow pays one retransmit timeout and proceeds.
 	PointProxyDrop Point = "proxy-drop"
+	// PointGossipDrop drops one node's manifest exchange during a
+	// cluster gossip round: the scheduler's view of that node stays
+	// stale until the next round.
+	PointGossipDrop Point = "gossip-drop"
+	// PointFetchDrop drops a snapshot-layer transfer packet (cluster
+	// fetch): the layer pays one retransmit RTT and proceeds.
+	PointFetchDrop Point = "fetch-drop"
 )
 
 var (
@@ -58,6 +65,8 @@ var (
 		PointSnapshotCorrupt: "snapshot diff corrupts in transit; decode fails, holder serves",
 		PointShardStall:      "shard stalls; request requeues and the breaker counts a failure",
 		PointProxyDrop:       "proxy drops an outbound packet; one retransmit timeout",
+		PointGossipDrop:      "gossip exchange drops; the scheduler view stays stale one round",
+		PointFetchDrop:       "layer fetch drops a packet; one retransmit RTT",
 	}
 )
 

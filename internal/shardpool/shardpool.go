@@ -59,6 +59,7 @@ import (
 	"seuss/internal/fault"
 	"seuss/internal/mem"
 	"seuss/internal/metrics"
+	"seuss/internal/sched"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
 	"seuss/internal/snapstore"
@@ -530,17 +531,11 @@ func (p *Pool) anyHealthy(except int) bool {
 	return false
 }
 
-// shardFor routes a key to its owner shard by FNV-1a hash, computed
-// inline over the string so the front door does not allocate a hasher
-// and a byte-slice copy per request. Constants and routing match
-// hash/fnv's 32-bit FNV-1a exactly.
+// shardFor routes a key to its owner shard via the scheduler layer's
+// shared key-affinity hash (allocation-free 32-bit FNV-1a), so a key's
+// owner is consistent with every other per-key router in the stack.
 func (p *Pool) shardFor(key string) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return int(h % uint32(len(p.shards)))
+	return sched.OwnerShard(key, len(p.shards))
 }
 
 // OwnerShard exposes the routing decision (tests, instrumentation).

@@ -83,7 +83,9 @@ type Stats struct {
 	Evictions      int64 // entries displaced by the LRU
 	CorruptDropped int64 // entries deleted after failing CRC
 	Entries        int   // current entry count
-	Bytes          int64 // current resident bytes
+	Bytes          int64 // current resident bytes (per entry; shared files counted once per key)
+	DiskFiles      int   // unique content-addressed files on disk
+	DiskBytes      int64 // bytes actually on disk (each shared file counted once)
 }
 
 // Store is the disk tier. All exported methods are safe for concurrent
@@ -397,6 +399,14 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Entries = len(s.man.Entries)
 	st.Bytes = s.bytes
+	files := make(map[string]int64, len(s.man.Entries))
+	for _, e := range s.man.Entries {
+		files[e.File] = e.Size
+	}
+	st.DiskFiles = len(files)
+	for _, sz := range files {
+		st.DiskBytes += sz
+	}
 	return st
 }
 

@@ -48,7 +48,10 @@ const (
 	KindDemote  Kind = "demote"  // snapshot written to the disk tier
 	KindPromote Kind = "promote" // snapshot restored from the disk tier
 	KindMigrate Kind = "migrate"
-	KindFault   Kind = "fault" // injected or contained failure
+	KindFault   Kind = "fault"  // injected or contained failure
+	KindGossip  Kind = "gossip" // scheduler manifest exchange round
+	KindFetch   Kind = "fetch"  // content-addressed layer transfer
+	KindStale   Kind = "stale"  // stale directory entry pruned
 
 )
 

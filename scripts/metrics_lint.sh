@@ -149,5 +149,18 @@ require '^seuss_invocations_total{path="lukewarm"} 0$'
 require '^seuss_deploy_kit_lookups_total{result='
 require '^seuss_ucs_deployed_total '
 require '^seuss_trace_dropped_total 0$'
+# Scheduler and snapshot-fabric families (DESIGN.md §11). seuss-node
+# runs a single pool, not a cluster, so these counters are zero here —
+# the lint pins that the families are registered and rendered.
+require '^seuss_sched_placements_total{action="cold"} 0$'
+require '^seuss_sched_placements_total{action="route"} 0$'
+require '^seuss_sched_placements_total{action="fetch"} 0$'
+require '^seuss_sched_placements_total{action="migrate"} 0$'
+require '^seuss_sched_stale_entries_total 0$'
+require '^seuss_fabric_gossip_rounds_total 0$'
+require '^seuss_fabric_gossip_drops_total 0$'
+require '^seuss_fabric_layer_transfers_total{outcome="fetched"} 0$'
+require '^seuss_fabric_layer_transfers_total{outcome="deduped"} 0$'
+require '^seuss_fabric_layer_transfers_total{outcome="rejected"} 0$'
 
 echo "OK: /metrics exposition is well-formed" >&2

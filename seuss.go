@@ -35,6 +35,7 @@ import (
 	"seuss/internal/faas"
 	"seuss/internal/fault"
 	"seuss/internal/metrics"
+	"seuss/internal/sched"
 	"seuss/internal/shardpool"
 	"seuss/internal/sim"
 	"seuss/internal/snapstore"
@@ -476,6 +477,14 @@ func (s *Simulation) NewSeussPoolCluster(pool *NodePool) *Cluster {
 	return &Cluster{sim: s, cluster: faas.NewCluster(s.eng, faas.NewSeussPoolBackend(s.eng, pool.pool))}
 }
 
+// NewSeussDistCluster assembles the platform over a DR-SEUSS
+// multi-node deployment: the same control plane and shim front door,
+// with the scheduler placing each invocation by snapshot locality.
+// The caller keeps the DistCluster handle for stats and holders.
+func (s *Simulation) NewSeussDistCluster(d *DistCluster) *Cluster {
+	return &Cluster{sim: s, cluster: faas.NewCluster(s.eng, faas.NewSeussDistBackend(s.eng, d.c))}
+}
+
 // LinuxConfig parameterizes the stock OpenWhisk Linux backend.
 type LinuxConfig = faas.LinuxConfig
 
@@ -490,7 +499,8 @@ func (c *Cluster) Invoke(t *Task, fn Function, args string) error {
 	return c.cluster.Invoke(t.p, fn, args)
 }
 
-// Backend returns the backend's name ("seuss" or "linux").
+// Backend returns the backend's name ("seuss", "seuss-pool",
+// "seuss-dist", or "linux").
 func (c *Cluster) Backend() string { return c.cluster.Backend().Name() }
 
 // Platform exposes the underlying cluster for experiment harnesses.
@@ -545,6 +555,22 @@ type DistConfig = cluster.Config
 
 // DistStats reports distributed-cache behavior.
 type DistStats = cluster.Stats
+
+// Placer decides where each invocation runs; plug one into
+// DistConfig.Placer to swap scheduling policies. Placers are
+// single-writer — the cluster serializes placement decisions.
+type Placer = sched.Placer
+
+// LocalityPlacer is the default policy: route to the least-loaded
+// snapshot holder, fall back to lukewarm tier holders, and — once
+// every holder is saturated past Slack — replicate by fetching only
+// the missing layers over the fabric (or migrating the whole diff
+// when Replicate is set without a fabric).
+type LocalityPlacer = sched.LocalityPlacer
+
+// LeastLoadedPlacer ignores snapshot locality entirely — the
+// ablation baseline for the locality experiments.
+type LeastLoadedPlacer = sched.LeastLoadedPlacer
 
 // DistCluster is a multi-node SEUSS deployment with a global snapshot
 // directory: a function is cold at most once per cluster.
