@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	seuss-experiments [-run all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fabric]
+//	seuss-experiments [-run all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fabric|failover]
 //	                  [-out DIR] [-quick] [-seed N]
 //
 // -quick shrinks iteration counts and sweep ranges for a fast pass;
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, fig6, fig7, fig8, fabric")
+	run := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, fig6, fig7, fig8, fabric, failover")
 	out := flag.String("out", "", "directory for TSV outputs (default: none written)")
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
@@ -109,6 +109,19 @@ func main() {
 		}
 		fmt.Println(f.Render())
 		writeTSV("fabric.tsv", f.TSV())
+	}
+	if want("failover") {
+		cfg := experiments.FailoverConfig{Seed: *seed}
+		if *quick {
+			cfg.N = 300
+			cfg.M = 16
+		}
+		f, err := experiments.RunFailover(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Render())
+		writeTSV("failover.tsv", f.TSV())
 	}
 	if want("fig5") {
 		n := 1000

@@ -210,6 +210,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"faults_injected":             rob.FaultsInjected,
 		},
 	}
+	// The fault-point roster: every point the injector can fire on this
+	// node, with its registered behavior — so an operator reading /stats
+	// can interpret a -fault-seed/-fault-rate run without the source.
+	points := map[string]string{}
+	for _, fp := range seuss.FaultPoints() {
+		points[fp.Point] = fp.Description
+	}
+	body["fault_points"] = points
 	if store := s.pool.SnapshotStore(); store != nil {
 		ss := store.Stats()
 		body["snapshot_tier"] = map[string]interface{}{

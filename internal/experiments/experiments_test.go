@@ -236,3 +236,43 @@ func TestFigure1StageSkipping(t *testing.T) {
 		t.Error("render missing skip markers")
 	}
 }
+
+func TestFailoverTimeline(t *testing.T) {
+	f, err := RunFailover(FailoverConfig{N: 300, M: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(f.Phases))
+	}
+	// Every phase keeps serving: failovers and repairs are contained,
+	// so the client never sees an error.
+	for _, p := range f.Phases {
+		if p.Errors != 0 {
+			t.Errorf("phase %q saw %d client errors", p.Phase, p.Errors)
+		}
+		if p.PerSec <= 0 {
+			t.Errorf("phase %q throughput = %.1f", p.Phase, p.PerSec)
+		}
+	}
+	// The acceptance bar: the rejoined cluster recovers the pre-crash
+	// throughput to within 10%.
+	if f.RecoveryRatio < 0.9 {
+		t.Errorf("post-rejoin recovery = %.2fx, want >= 0.9x", f.RecoveryRatio)
+	}
+	// The crash landed under load: at least one in-flight invocation
+	// failed over, and the victim walked suspect -> dead -> revived.
+	st := f.Stats
+	if st.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1", st.Failovers)
+	}
+	if st.DeadMembers < 1 || st.RevivedMembers < 1 {
+		t.Errorf("lifecycle: dead=%d revived=%d, want both >= 1", st.DeadMembers, st.RevivedMembers)
+	}
+	if !strings.Contains(f.TSV(), "phase\t") {
+		t.Error("TSV header missing")
+	}
+	if !strings.Contains(f.Render(), "post-rejoin") {
+		t.Error("render missing recovery line")
+	}
+}

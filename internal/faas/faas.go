@@ -347,6 +347,10 @@ func NewSeussDistBackend(eng *sim.Engine, c *cluster.Cluster) *SeussDistBackend 
 // Cluster returns the underlying node cluster.
 func (b *SeussDistBackend) Cluster() *cluster.Cluster { return b.cluster }
 
+// MemberStates reports every member's lifecycle state — front doors
+// surface it next to their health endpoints.
+func (b *SeussDistBackend) MemberStates() []cluster.MemberInfo { return b.cluster.MemberStates() }
+
 // Name implements Backend.
 func (b *SeussDistBackend) Name() string { return "seuss-dist" }
 

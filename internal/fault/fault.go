@@ -56,6 +56,21 @@ const (
 	// PointFetchDrop drops a snapshot-layer transfer packet (cluster
 	// fetch): the layer pays one retransmit RTT and proceeds.
 	PointFetchDrop Point = "fetch-drop"
+	// PointMemberCrash kills a cluster member (consulted once per member
+	// per gossip round): resident UCs and memory-tier snapshots are
+	// lost, the disk tier survives, in-flight invocations fail contained
+	// and fail over to a live member.
+	PointMemberCrash Point = "member-crash"
+	// PointMemberRestart rejoins a crashed member (consulted once per
+	// down member per gossip round): the node rebuilds over its
+	// surviving disk tier, resyncs its manifest, and prewarms. Fired
+	// against a partitioned member it heals the partition instead.
+	PointMemberRestart Point = "member-restart"
+	// PointMemberPartition isolates a member (consulted once per live
+	// member per gossip round): the node keeps running but is reachable
+	// by no one — heartbeats stop, placements skip it, and its state
+	// machine walks alive → suspect → dead until the partition heals.
+	PointMemberPartition Point = "member-partition"
 )
 
 var (
@@ -67,6 +82,9 @@ var (
 		PointProxyDrop:       "proxy drops an outbound packet; one retransmit timeout",
 		PointGossipDrop:      "gossip exchange drops; the scheduler view stays stale one round",
 		PointFetchDrop:       "layer fetch drops a packet; one retransmit RTT",
+		PointMemberCrash:     "cluster member dies; RAM state lost, disk tier survives, invocations fail over",
+		PointMemberRestart:   "crashed member rejoins; manifest resync and disk-tier prewarm",
+		PointMemberPartition: "member unreachable but running; suspected, then declared dead until healed",
 	}
 )
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -227,3 +228,46 @@ type wrapErr struct {
 
 func (w *wrapErr) Error() string { return w.msg + ": " + w.err.Error() }
 func (w *wrapErr) Unwrap() error { return w.err }
+
+// TestFaultPointRosterMatchesDocs walks the live registry and requires
+// every point to carry a description and to appear — as `point` — in
+// the README fault-point table and in DESIGN.md. Adding a fault point
+// without documenting it is a test failure; that's the point: the
+// roster must not drift from the docs (same contract as the seuss-node
+// flag tests).
+func TestFaultPointRosterMatchesDocs(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	// The lifecycle trio must be registered at all — a regression here
+	// means the member-failure machinery lost its injection sites.
+	roster := map[Point]bool{}
+	for _, pt := range Points() {
+		roster[pt] = true
+	}
+	for _, pt := range []Point{PointMemberCrash, PointMemberRestart, PointMemberPartition} {
+		if !roster[pt] {
+			t.Errorf("lifecycle point %q missing from the registry", pt)
+		}
+	}
+	for _, pt := range Points() {
+		if strings.Contains(string(pt), "test") {
+			continue // artifacts of sibling tests exercising Register
+		}
+		if Describe(pt) == "" {
+			t.Errorf("point %q has no registry description", pt)
+		}
+		tick := "`" + string(pt) + "`"
+		if !strings.Contains(string(readme), tick) {
+			t.Errorf("point %q is not in the README.md fault-point table", pt)
+		}
+		if !strings.Contains(string(design), tick) {
+			t.Errorf("point %q is not documented in DESIGN.md", pt)
+		}
+	}
+}

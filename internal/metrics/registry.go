@@ -83,6 +83,15 @@ const (
 	CtrFabricLayersFetched
 	CtrFabricLayersDeduped
 	CtrFabricLayersRejected
+	// Member liveness lifecycle, failover, and redundancy repair.
+	CtrMemberStateAlive
+	CtrMemberStateSuspect
+	CtrMemberStateDead
+	CtrClusterFailovers
+	CtrFabricRepairsPromoted
+	CtrFabricRepairsRefetched
+	CtrFabricRepairsCold
+	CtrFabricRepairsFailed
 
 	numCounters
 )
@@ -157,6 +166,15 @@ var counterDescs = [numCounters]desc{
 	CtrFabricLayersFetched:    {"seuss_fabric_layer_transfers_total", "Snapshot-layer transfer outcomes on the fabric.", `outcome="fetched"`},
 	CtrFabricLayersDeduped:    {"seuss_fabric_layer_transfers_total", "", `outcome="deduped"`},
 	CtrFabricLayersRejected:   {"seuss_fabric_layer_transfers_total", "", `outcome="rejected"`},
+
+	CtrMemberStateAlive:       {"seuss_cluster_member_state_transitions_total", "Member liveness transitions, by state entered.", `state="alive"`},
+	CtrMemberStateSuspect:     {"seuss_cluster_member_state_transitions_total", "", `state="suspect"`},
+	CtrMemberStateDead:        {"seuss_cluster_member_state_transitions_total", "", `state="dead"`},
+	CtrClusterFailovers:       {"seuss_cluster_failovers_total", "Invocations re-picked to a live member after the serving member became unreachable.", ""},
+	CtrFabricRepairsPromoted:  {"seuss_fabric_repairs_total", "Repair-pass actions for lineages that lost their last live holder, by outcome.", `outcome="promoted"`},
+	CtrFabricRepairsRefetched: {"seuss_fabric_repairs_total", "", `outcome="refetched"`},
+	CtrFabricRepairsCold:      {"seuss_fabric_repairs_total", "", `outcome="cold"`},
+	CtrFabricRepairsFailed:    {"seuss_fabric_repairs_total", "", `outcome="failed"`},
 }
 
 var histDescs = [numHists]desc{

@@ -151,18 +151,24 @@ func (lp *LocalityPlacer) Place(r Request) Placement {
 	}
 	least := leastLoaded(r.Nodes, &lp.cursor)
 
-	lp.holders = r.View.AppendResidentHolders(lp.holders[:0], r.Key)
-	if len(lp.holders) == 0 {
-		// No RAM holder. A node holding the lineage in its disk tier
-		// serves lukewarm — far cheaper than another cluster cold.
-		lp.holders = r.View.AppendTierHolders(lp.holders[:0], r.Lineage)
+	// Holders the heartbeat machinery believes non-alive are skipped:
+	// routing to a suspect node gambles the request on a member that has
+	// stopped reporting, and a dead one is certain to fail over.
+	lp.holders = r.View.FilterAlive(r.View.AppendResidentHolders(lp.holders[:0], r.Key))
+	holder := minInflight(r.Nodes, lp.holders)
+	if holder < 0 {
+		// No reachable RAM holder. A live node holding the lineage in
+		// its disk tier serves lukewarm — far cheaper than another
+		// cluster cold.
+		lp.holders = r.View.FilterAlive(r.View.AppendTierHolders(lp.holders[:0], r.Lineage))
 		if h := minInflight(r.Nodes, lp.holders); h >= 0 {
 			return Placement{Node: h, Action: ActionRoute, Holder: h}
 		}
+		// No live holder and no live disk copy: the request is never
+		// stranded — it cold-boots locally on the least-loaded node.
 		return Placement{Node: least.ID, Action: ActionCold, Holder: -1}
 	}
 
-	holder := minInflight(r.Nodes, lp.holders)
 	hs := stateOf(r.Nodes, holder)
 	if !lp.Replicate || hs.Inflight <= least.Inflight+slack {
 		return Placement{Node: holder, Action: ActionRoute, Holder: holder}
@@ -195,7 +201,7 @@ func (lb *LeastLoadedPlacer) Place(r Request) Placement {
 	lb.sw.enter("LeastLoadedPlacer")
 	defer lb.sw.exit()
 	least := leastLoaded(r.Nodes, &lb.cursor)
-	if r.View.Resident(least.ID, r.Key) {
+	if r.View.Resident(least.ID, r.Key) && r.View.Alive(least.ID) {
 		return Placement{Node: least.ID, Action: ActionRoute, Holder: least.ID}
 	}
 	return Placement{Node: least.ID, Action: ActionCold, Holder: -1}
@@ -227,14 +233,21 @@ func leastLoaded(nodes []NodeState, cursor *int) NodeState {
 	return nodes[best]
 }
 
-// minInflight returns the ID of the least-loaded node among ids
-// (first-wins on ties, matching the old holderFor), or -1 when ids is
-// empty.
+// minInflight returns the ID of the least-loaded healthy node among
+// ids (first-wins on ties, matching the old holderFor), or -1 when ids
+// is empty or every candidate is unhealthy — unlike leastLoaded there
+// is no all-unhealthy fallback, because a holder the caller marked
+// unhealthy (down, or the member a retry just failed on) must not be
+// re-picked; the placer degrades to tier holders or a cold boot
+// instead.
 func minInflight(nodes []NodeState, ids []int) int {
 	best := -1
 	bestIn := 0
 	for _, id := range ids {
 		s := stateOf(nodes, id)
+		if !s.Healthy {
+			continue
+		}
 		if best < 0 || s.Inflight < bestIn {
 			best, bestIn = id, s.Inflight
 		}

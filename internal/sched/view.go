@@ -16,11 +16,41 @@ type Layer struct {
 	Size   int64
 }
 
+// MemberState is the scheduler's liveness belief about one node,
+// driven by heartbeats piggybacked on gossip rounds: a node whose
+// report lands is alive; one that misses K consecutive rounds is
+// suspect; one that keeps missing is declared dead and has its view
+// entries purged. The zero value is StateAlive, so callers that never
+// run the heartbeat machinery (the shardpool router) see every node as
+// placeable.
+type MemberState int
+
+const (
+	// StateAlive: heartbeats landing; the node takes placements.
+	StateAlive MemberState = iota
+	// StateSuspect: K or more consecutive heartbeats missed; placers
+	// skip the node as a holder but its entries are retained — a single
+	// resumed report restores it.
+	StateSuspect
+	// StateDead: the suspicion deadline passed; the node's view entries
+	// are purged and orphaned lineages become repair work.
+	StateDead
+)
+
+var memberStateNames = [...]string{"alive", "suspect", "dead"}
+
+// String implements fmt.Stringer.
+func (s MemberState) String() string { return memberStateNames[s] }
+
 // nodeView is what the scheduler believes about one node.
 type nodeView struct {
 	// fabric is whether the node runs a content-addressed disk store
 	// (set once at cluster boot, not gossiped).
 	fabric bool
+	// state is the heartbeat-driven liveness belief; missed counts the
+	// consecutive heartbeat rounds the node has failed to report.
+	state  MemberState
+	missed int
 	// resident is the node's RAM-resident function snapshots, keyed by
 	// function key. Updated synchronously on serve/transfer success and
 	// replaced wholesale by gossip.
@@ -82,6 +112,91 @@ func (v *View) Fabric(node int) bool {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return v.nodes[node].fabric
+}
+
+// State returns the liveness belief for a node.
+func (v *View) State(node int) MemberState {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.nodes[node].state
+}
+
+// Alive reports whether the view believes a node is taking placements.
+func (v *View) Alive(node int) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.nodes[node].state == StateAlive
+}
+
+// Missed returns how many consecutive heartbeat rounds a node has
+// failed to report (0 while alive).
+func (v *View) Missed(node int) int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.nodes[node].missed
+}
+
+// ReportHeartbeat records that a node's gossip report landed this
+// round: its missed count resets and it is believed alive again.
+// Returns the state the node held before the report, so the caller can
+// count and trace recoveries.
+func (v *View) ReportHeartbeat(node int) MemberState {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	prev := v.nodes[node].state
+	v.nodes[node].state = StateAlive
+	v.nodes[node].missed = 0
+	return prev
+}
+
+// MissHeartbeat records that a node failed to report this gossip round
+// and advances the state machine: alive → suspect after suspectAfter
+// consecutive misses, suspect → dead after deadAfter. Returns the
+// states before and after so the caller can count transitions. A dead
+// node stays dead until a report lands (ReportHeartbeat).
+func (v *View) MissHeartbeat(node, suspectAfter, deadAfter int) (from, to MemberState) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	nv := &v.nodes[node]
+	from = nv.state
+	nv.missed++
+	switch {
+	case nv.missed >= deadAfter:
+		nv.state = StateDead
+	case nv.missed >= suspectAfter:
+		nv.state = StateSuspect
+	}
+	return from, nv.state
+}
+
+// PurgeNode drops everything the view believes about a node's contents
+// — its residency entries and advertised layers — and returns how many
+// entries were pruned. Called when a node is declared dead (its RAM is
+// gone and its disk unreachable) and when a rejoining node resyncs
+// from scratch.
+func (v *View) PurgeNode(node int) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	nv := &v.nodes[node]
+	n := len(nv.resident) + len(nv.layers)
+	nv.resident = make(map[string]bool)
+	nv.layers = make(map[string]Layer)
+	return n
+}
+
+// FilterAlive removes (in place) the IDs of nodes not believed alive
+// and returns the filtered slice — the holder-liveness filter placers
+// apply before routing.
+func (v *View) FilterAlive(ids []int) []int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := ids[:0]
+	for _, id := range ids {
+		if v.nodes[id].state == StateAlive {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Refresh replaces one node's gossiped state wholesale: its resident

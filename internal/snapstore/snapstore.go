@@ -450,6 +450,25 @@ func (s *Store) Stack(key string) []string {
 	return out
 }
 
+// HasStack reports whether key's full dependency chain — the entry and
+// every base under it — is resident. This is the repair-source probe:
+// a node can serve as a re-replication source for a lineage only when
+// its tier holds the complete stack, not just the top diff.
+func (s *Store) HasStack(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	for key != "" && !seen[key] {
+		e, ok := s.man.Entries[key]
+		if !ok {
+			return false
+		}
+		seen[key] = true
+		key = e.Base
+	}
+	return key == ""
+}
+
 // Sync persists the manifest (atomic temp + rename). Put/Delete sync
 // implicitly; callers use Sync after out-of-band mutations or before
 // handing the directory to another process.

@@ -53,6 +53,10 @@ const (
 	KindFetch   Kind = "fetch"  // content-addressed layer transfer
 	KindStale   Kind = "stale"  // stale directory entry pruned
 
+	KindCrash    Kind = "crash"    // member crashed, partitioned, or declared dead
+	KindFailover Kind = "failover" // invocation re-picked off an unreachable member
+	KindRepair   Kind = "repair"   // redundancy restored for an orphaned lineage
+	KindRejoin   Kind = "rejoin"   // member rejoined and resynced its manifest
 )
 
 // Event is one recorded occurrence: an instant (Dur == 0) or a span.

@@ -162,5 +162,14 @@ require '^seuss_fabric_gossip_drops_total 0$'
 require '^seuss_fabric_layer_transfers_total{outcome="fetched"} 0$'
 require '^seuss_fabric_layer_transfers_total{outcome="deduped"} 0$'
 require '^seuss_fabric_layer_transfers_total{outcome="rejected"} 0$'
+# Member-lifecycle families (DESIGN.md §12) — zero for the same reason.
+require '^seuss_cluster_member_state_transitions_total{state="alive"} 0$'
+require '^seuss_cluster_member_state_transitions_total{state="suspect"} 0$'
+require '^seuss_cluster_member_state_transitions_total{state="dead"} 0$'
+require '^seuss_cluster_failovers_total 0$'
+require '^seuss_fabric_repairs_total{outcome="promoted"} 0$'
+require '^seuss_fabric_repairs_total{outcome="refetched"} 0$'
+require '^seuss_fabric_repairs_total{outcome="cold"} 0$'
+require '^seuss_fabric_repairs_total{outcome="failed"} 0$'
 
 echo "OK: /metrics exposition is well-formed" >&2

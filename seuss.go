@@ -27,6 +27,7 @@
 package seuss
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -267,6 +268,26 @@ type PoolConfig struct {
 	// BreakerProbeAfter is the diverted requests an open breaker
 	// absorbs before probing half-open (0 = default 4).
 	BreakerProbeAfter int
+}
+
+// FaultPoint is one registered fault-injection point: its name (the
+// value fault schedules and traces use) and what firing it does.
+type FaultPoint struct {
+	Point       string
+	Description string
+}
+
+// FaultPoints lists every registered fault-injection point in sorted
+// order with its registry description — the roster behind FaultRate
+// injection and the CI fault matrix. Front doors surface it so
+// operators can see what a given seed/rate can inject.
+func FaultPoints() []FaultPoint {
+	pts := fault.Points()
+	out := make([]FaultPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = FaultPoint{Point: string(pt), Description: fault.Describe(pt)}
+	}
+	return out
 }
 
 // NodePool is a shared-nothing pool of compute shards behind one front
@@ -618,6 +639,44 @@ func (d *DistCluster) Holders(key string) []int { return d.c.Holders(key) }
 
 // Nodes returns the member count.
 func (d *DistCluster) Nodes() int { return len(d.c.Members()) }
+
+// DistMemberState is one member's lifecycle state: runtime ground truth
+// (Up, Partitioned) plus the heartbeat-driven belief recorded in the
+// scheduler view (State: "alive"/"suspect"/"dead", Missed rounds).
+type DistMemberState = cluster.MemberInfo
+
+// MemberStates reports every member's lifecycle state.
+func (d *DistCluster) MemberStates() []DistMemberState { return d.c.MemberStates() }
+
+// CrashMember kills a member: resident UCs and memory-tier snapshots
+// are lost, its disk tier survives but is offline until restart, and
+// in-flight invocations on it fail over. Returns false if the member
+// was already down. (Fault-injection hook; the member-crash fault point
+// drives the same path.)
+func (d *DistCluster) CrashMember(id int) bool { return d.c.Crash(id) }
+
+// RestartMember rebuilds a crashed member over its surviving disk tier
+// and rejoins it: fresh RAM, a full manifest resync, and a disk-tier
+// prewarm (unless the cluster was configured RejoinLazy). Runs the
+// rejoin on the simulation clock.
+func (d *DistCluster) RestartMember(id int) error {
+	var err error
+	d.sim.Spawn(fmt.Sprintf("restart:%d", id), func(t *Task) {
+		err = d.c.Restart(t.p, id)
+	})
+	d.sim.Run()
+	return err
+}
+
+// PartitionMember isolates a member: it keeps running but is reachable
+// by no one, so heartbeats stop landing and placements skip it once
+// suspected. Returns false if the member is down or already
+// partitioned.
+func (d *DistCluster) PartitionMember(id int) bool { return d.c.Partition(id) }
+
+// HealMember reconnects a partitioned member and resyncs its manifest.
+// Returns false if the member is not partitioned.
+func (d *DistCluster) HealMember(id int) bool { return d.c.Heal(id) }
 
 // ---- Metrics ----
 
