@@ -455,6 +455,127 @@ func BenchmarkLukewarmDeploy(b *testing.B) {
 	}
 }
 
+// BenchmarkLukewarmPrefetched measures the promote a second lukewarm
+// restore of a recorded lineage pays: read the encoded diff from the
+// disk tier (cached descriptor, CRC-verified), load the working-set
+// plan from its sidecar, and graft the diff onto the resident base in
+// one fused decode+install pass (snapshot.GraftWire) — the same scope
+// as BenchmarkLukewarmDeploy, on the recorded fast path. After this
+// the snapshot deploys exactly like a warm one (DeployPrefetched bulk-
+// maps the plan at the batched rate instead of taking the fault
+// storm), so this promote is the entire premium a disk restore pays
+// over warm. scripts/bench.sh gates the ratio against
+// BenchmarkUCDeployRealTime (the warm deploy): the premium must stay
+// within 2× warm speed.
+func BenchmarkLukewarmPrefetched(b *testing.B) {
+	st := mem.NewStore(0)
+	runtime := buildRuntimeSnapshot(b, st)
+	env := &libos.CountingEnv{}
+	u, err := uc.Deploy(runtime, nil, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u.Guest().Connect()
+	u.Guest().ImportAndCompile(workload.NOPSource)
+	fnSnap, err := u.Capture("fn/bench", uc.TriggerPCPostCompile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := snapstore.Open(b.TempDir(), -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := fnSnap.Export(&wire); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Put("fn/bench", "runtime", wire.Bytes()); err != nil {
+		b.Fatal(err)
+	}
+	// Record the working set the way the node does: one on-demand
+	// restore, harvest its dirty pages, persist the sidecar.
+	{
+		diff, err := snapshot.ImportBytes(wire.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := snapshot.GraftBulk(diff, runtime)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload, err := uc.DecodePayload(diff.PayloadBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap.SetPayload(payload)
+		probe, err := uc.Deploy(snap, nil, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		record, err := snapshot.EncodeWorkingSet(probe.Space().DirtyPages())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.PutWorkingSet("fn/bench", record); err != nil {
+			b.Fatal(err)
+		}
+		probe.Destroy()
+		snap.Delete()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := store.Get("fn/bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws, ok := store.GetWorkingSetPages("fn/bench")
+		if !ok {
+			b.Fatal("no working set recorded")
+		}
+		snap, payloadBytes, err := snapshot.GraftWire(data, runtime)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload, err := uc.DecodePayload(payloadBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap.SetPayload(payload)
+		b.StopTimer()
+		if len(ws) == 0 {
+			b.Fatal("empty working set")
+		}
+		snap.Delete()
+		b.StartTimer()
+	}
+	// The premapped deploy itself is covered by the prefetched-vs-warm
+	// equivalence tests; one here proves the measured promote yields a
+	// deployable snapshot with the recorded plan.
+	verify := func() {
+		data, _ := store.Get("fn/bench")
+		ws, _ := store.GetWorkingSetPages("fn/bench")
+		snap, payloadBytes, err := snapshot.GraftWire(data, runtime)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload, _ := uc.DecodePayload(payloadBytes)
+		snap.SetPayload(payload)
+		u2, prefetched, err := uc.DeployPrefetched(snap, nil, env, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prefetched == 0 {
+			b.Fatal("no pages prefetched")
+		}
+		u2.Destroy()
+		snap.Delete()
+	}
+	b.StopTimer()
+	verify()
+	b.StartTimer()
+}
+
 // BenchmarkColdRebuildRealTime is the work a lukewarm restore replaces:
 // deploy from the base runtime, connect, import and compile the user
 // function, capture its snapshot.

@@ -36,6 +36,7 @@ func TestFlagSetIsExactlyTheDocumentedOne(t *testing.T) {
 		"fault-rate":    true,
 		"snapdir":       true,
 		"snap-disk-cap": true,
+		"no-prewarm":    true,
 		"pprof":         true,
 	}
 	got := map[string]bool{}

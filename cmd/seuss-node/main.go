@@ -4,7 +4,7 @@
 //
 //	seuss-node [-addr :8080] [-shards N] [-no-ao] [-no-steal]
 //	           [-deadline 0] [-fault-seed 0] [-fault-rate 0]
-//	           [-snapdir DIR] [-snap-disk-cap BYTES]
+//	           [-snapdir DIR] [-snap-disk-cap BYTES] [-no-prewarm]
 //	           [-pprof localhost:6060]
 //
 // The node is a sharded pool: N shared-nothing compute shards (default:
@@ -236,6 +236,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"prewarmed":        st.SnapshotsPrewarmed,
 			"node_tier_hits":   st.TierHits,
 			"node_tier_misses": st.TierMisses,
+			"ws_dropped":       ss.WSDropped,
+		}
+		body["working_set"] = map[string]interface{}{
+			"records_recorded": st.WorkingSet.Recorded,
+			"records_merged":   st.WorkingSet.Merged,
+			"records_corrupt":  st.WorkingSet.Corrupt,
+			"prefetched_pages": st.WorkingSet.PrefetchedPages,
+			"coverage_hits":    st.WorkingSet.CoverageHits,
+			"coverage_misses":  st.WorkingSet.CoverageMisses,
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -367,6 +376,7 @@ type options struct {
 	shards      *int
 	noAO        *bool
 	noSteal     *bool
+	noPrewarm   *bool
 	deadline    *time.Duration
 	faultSeed   *int64
 	faultRate   *float64
@@ -382,6 +392,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		shards:      fs.Int("shards", runtime.NumCPU(), "compute shard count"),
 		noAO:        fs.Bool("no-ao", false, "disable anticipatory optimizations"),
 		noSteal:     fs.Bool("no-steal", false, "disable work stealing (pin keys to owner shards)"),
+		noPrewarm:   fs.Bool("no-prewarm", false, "skip the boot-time snapshot-tier prewarm (first hits restore lukewarm)"),
 		deadline:    fs.Duration("deadline", 0, "per-invocation deadline (virtual time; 0 = unlimited)"),
 		faultSeed:   fs.Int64("fault-seed", 0, "deterministic fault-injection seed"),
 		faultRate:   fs.Float64("fault-rate", 0, "fault-point firing probability (0 disables injection)"),
@@ -438,7 +449,7 @@ func main() {
 	if *faultRate > 0 {
 		log.Printf("fault injection armed: seed=%d rate=%g", *faultSeed, *faultRate)
 	}
-	if cfg.Node.SnapStore != nil {
+	if cfg.Node.SnapStore != nil && !*opts.noPrewarm {
 		// Prewarm the tier's hottest lineages back into shard memory so
 		// the first request after a restart is warm, not cold.
 		if n, err := pool.Prewarm(0); err != nil {

@@ -1106,14 +1106,18 @@ func (c *Cluster) shipLayers(p *sim.Proc, src, dst *Member, lineage string) (mov
 			return moved, fetched, deduped, fmt.Errorf("cluster: member %d lost layer %s mid-transfer", src.ID, lk)
 		}
 		if have, ok := dst.Store.Layer(lk); ok && have.Digest == layer.Digest {
-			// Same key, same content: nothing ships.
+			// Same key, same content: only the working-set sidecar can
+			// be missing; ship that alone.
+			moved += shipWorkingSet(src, dst, layer.Digest)
 			c.stats.LayerDedups++
 			c.rec.Inc(metrics.CtrFabricLayersDeduped)
 			deduped++
 			continue
 		}
 		if dst.Store.HasDigest(layer.Digest) && dst.Store.LinkDigest(lk, layer.Base, layer.Digest) == nil {
-			// Identical content under another name: link, ship nothing.
+			// Identical content under another name: link, ship nothing
+			// but the sidecar.
+			moved += shipWorkingSet(src, dst, layer.Digest)
 			c.stats.LayerDedups++
 			c.rec.Inc(metrics.CtrFabricLayersDeduped)
 			deduped++
@@ -1150,8 +1154,29 @@ func (c *Cluster) shipLayers(p *sim.Proc, src, dst *Member, lineage string) (mov
 		moved += int64(len(wire))
 		fetched++
 		c.rec.Inc(metrics.CtrFabricLayersFetched)
+		moved += shipWorkingSet(src, dst, layer.Digest)
 	}
 	return moved, fetched, deduped, nil
+}
+
+// shipWorkingSet piggybacks a layer's working-set sidecar on the
+// transfer that just placed (or deduped) the layer on dst, so a peer's
+// first lukewarm restore of a fetched lineage is already prefetched.
+// The sidecar is advisory and content-addressed by the layer it rides
+// with — verification happens in PutWorkingSetForDigest — so every
+// failure path ships nothing and is silent. Returns the bytes moved.
+func shipWorkingSet(src, dst *Member, digest uint64) int64 {
+	data, ok := src.Store.WorkingSetForDigest(digest)
+	if !ok {
+		return 0
+	}
+	if _, has := dst.Store.WorkingSetForDigest(digest); has {
+		return 0
+	}
+	if dst.Store.PutWorkingSetForDigest(digest, data) != nil {
+		return 0
+	}
+	return int64(len(data))
 }
 
 // LocalHitsOrRoute records a directory hit.

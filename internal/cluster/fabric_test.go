@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -217,5 +218,100 @@ func TestStaleDirectoryPrunedAndCounted(t *testing.T) {
 	}
 	if len(c.Holders("victim")) != 1 {
 		t.Errorf("holders after prune + re-serve = %v, want exactly the new server", c.Holders("victim"))
+	}
+}
+
+// TestFabricShipsWorkingSetSidecar: the working-set record a holder
+// harvests on its first lukewarm restore rides the replication fetch,
+// so the replica's own first lukewarm restore prefetches instead of
+// re-recording.
+func TestFabricShipsWorkingSetSidecar(t *testing.T) {
+	c, eng := newCluster(t, Config{
+		Nodes: 2, Policy: PolicyMigrate, SnapDir: t.TempDir(), RejoinLazy: true,
+	})
+	req := core.Request{Key: "hotfn", Source: workload.NOPSource, Args: "{}"}
+	_, home := invoke(t, c, eng, req) // cold on the home node
+	var h *Member
+	for _, m := range c.Members() {
+		if m.ID == home {
+			h = m
+		}
+	}
+
+	// Persist the lineage, lose the home node's RAM, and rejoin lazily:
+	// the next request restores lukewarm and records the working set.
+	if h.Node.FlushSnapshots(nil) == 0 {
+		t.Fatal("holder flushed nothing")
+	}
+	restart := func(id int) {
+		if !c.Crash(id) {
+			t.Fatalf("member %d would not crash", id)
+		}
+		var err error
+		eng.Go("ops", func(p *sim.Proc) { err = c.Restart(p, id) })
+		eng.Run()
+		if err != nil {
+			t.Fatalf("restart member %d: %v", id, err)
+		}
+	}
+	restart(home)
+	res, n2 := invoke(t, c, eng, req)
+	if n2 != home || res.Path != core.PathLukewarm {
+		t.Fatalf("recording restore: node=%d path=%v, want holder %d lukewarm", n2, res.Path, home)
+	}
+	if st := h.Node.Stats(); st.WSRecorded != 1 {
+		t.Fatalf("holder recorded %d working sets, want 1", st.WSRecorded)
+	}
+	layer, ok := h.Store.Layer("fn/hotfn")
+	if !ok {
+		t.Fatal("holder tier missing the fn diff layer")
+	}
+	rec, ok := h.Store.WorkingSetForDigest(layer.Digest)
+	if !ok {
+		t.Fatal("holder tier missing the sidecar the harvest just wrote")
+	}
+
+	// Replicate under load; the sidecar piggybacks on the layer fetch.
+	overload(t, c, eng, req, 8)
+	if c.Stats().Fetches == 0 {
+		t.Fatal("no replication fetch; sidecar shipping untested")
+	}
+	var replica *Member
+	for _, m := range c.Members() {
+		if m.ID == home {
+			continue
+		}
+		if got, ok := m.Store.WorkingSetForDigest(layer.Digest); ok {
+			if !bytes.Equal(got, rec) {
+				t.Fatalf("shipped sidecar differs: %d vs %d bytes", len(got), len(rec))
+			}
+			replica = m
+		}
+	}
+	if replica == nil {
+		t.Fatal("no replica received the working-set sidecar")
+	}
+
+	// The replica's own first lukewarm restore replays the shipped
+	// record: pages prefetch, nothing is re-recorded.
+	if replica.Node.FlushSnapshots(nil) == 0 {
+		t.Fatal("replica flushed nothing")
+	}
+	restart(replica.ID)
+	var rres core.Result
+	var rerr error
+	eng.Go("client", func(p *sim.Proc) {
+		rres, rerr = replica.Node.Invoke(p, req)
+	})
+	eng.Run()
+	if rerr != nil || rres.Path != core.PathLukewarm {
+		t.Fatalf("replica restore: path=%v err=%v", rres.Path, rerr)
+	}
+	st := replica.Node.Stats()
+	if st.WSPrefetchedPages == 0 {
+		t.Errorf("replica restored without prefetching the shipped record: %+v", st)
+	}
+	if st.WSRecorded != 0 {
+		t.Errorf("replica re-recorded over the shipped record: %+v", st)
 	}
 }

@@ -211,6 +211,16 @@ type Stats struct {
 	SnapshotsDemoted   int64
 	SnapshotsPromoted  int64
 	SnapshotsPrewarmed int64
+	// Working-set record/replay on the lukewarm path: records written
+	// on a lineage's first restore, drift merges, corrupt records
+	// dropped, pages bulk-mapped before resume, and how well the record
+	// covered what the invocation actually touched.
+	WSRecorded        int64
+	WSMerged          int64
+	WSCorrupt         int64
+	WSPrefetchedPages int64
+	WSCoverageHits    int64
+	WSCoverageMisses  int64
 }
 
 // Add accumulates o into s (pool/cluster aggregation).
@@ -235,6 +245,12 @@ func (s *Stats) Add(o Stats) {
 	s.SnapshotsDemoted += o.SnapshotsDemoted
 	s.SnapshotsPromoted += o.SnapshotsPromoted
 	s.SnapshotsPrewarmed += o.SnapshotsPrewarmed
+	s.WSRecorded += o.WSRecorded
+	s.WSMerged += o.WSMerged
+	s.WSCorrupt += o.WSCorrupt
+	s.WSPrefetchedPages += o.WSPrefetchedPages
+	s.WSCoverageHits += o.WSCoverageHits
+	s.WSCoverageMisses += o.WSCoverageMisses
 }
 
 // managedUC pairs a UC with its host environment so later operations
@@ -259,6 +275,11 @@ type idleUC struct {
 type fnEntry struct {
 	snap *snapshot.Snapshot
 	last sim.Time
+	// ws is the lineage's decoded working-set record — the pages its
+	// first lukewarm restore touched, bulk-mapped before resume on
+	// later restores. nil arms recording: the next successful lukewarm
+	// invocation harvests its dirty set into a fresh record.
+	ws []uint64
 }
 
 // Node is one SEUSS compute node.
@@ -589,14 +610,33 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 	}
 	if ok {
 		entry.last = n.eng.Now()
-		mu, err := n.deploy(p, entry.snap)
+		// A lukewarm deploy replays the lineage's recorded working set:
+		// the pages the first restore faulted on-demand are bulk-mapped
+		// before the first instruction. Warm deploys are left alone —
+		// the snapshot is resident and its faults are cheap.
+		var ws []uint64
+		if path == PathLukewarm {
+			ws = entry.ws
+		}
+		mu, prefetched, err := n.deploy(p, entry.snap, ws)
 		if err == nil {
+			if prefetched > 0 {
+				n.stats.WSPrefetchedPages += int64(prefetched)
+				n.cfg.Metrics.AddCounter(metrics.CtrWSPrefetchedPages, int64(prefetched))
+				n.cfg.Tracer.Record(trace.Event{
+					At: time.Duration(n.eng.Now()), Kind: trace.KindWorkingSet, ID: id, Key: req.Key,
+					Detail: fmt.Sprintf("prefetched %d pages", prefetched),
+				})
+			}
 			if cerr := mu.u.Guest().Connect(); cerr != nil {
 				n.destroyUC(mu)
 				n.invokeError()
 				return Result{}, cerr
 			}
 			out, rerr := n.runOn(p, mu, req)
+			if path == PathLukewarm && rerr == nil {
+				n.harvestWorkingSet(mu, req.Key, entry, id)
+			}
 			return n.finish(start, id, req.Key, path, out, rerr)
 		}
 		if !errors.Is(err, ErrNodeSaturated) || req.Source == "" {
@@ -623,7 +663,7 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 		n.invokeError()
 		return Result{}, err
 	}
-	mu, err := n.deploy(p, base)
+	mu, _, err := n.deploy(p, base, nil)
 	if err != nil {
 		n.invokeError()
 		return Result{}, err
@@ -678,32 +718,34 @@ func (n *Node) finish(start sim.Time, id uint64, key string, path Path, out stri
 	}, nil
 }
 
-// deploy creates a UC from a snapshot. On memory pressure it walks the
-// degradation ladder instead of failing outright: reclaim idle UCs one
-// at a time (level 1, LRU-first — they redeploy cheaply from their
-// snapshots), then evict the coldest function snapshots (level 2 —
-// future warm starts are lost, nothing else). Only when both levels
-// are exhausted does it report saturation (level 3, the cold
-// fallback, belongs to Invoke, which knows the request).
-func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot) (*managedUC, error) {
+// deploy creates a UC from a snapshot, bulk-mapping the working-set
+// pages first when the caller supplies a record (nil ws is the plain
+// on-demand deploy). On memory pressure it walks the degradation
+// ladder instead of failing outright: reclaim idle UCs one at a time
+// (level 1, LRU-first — they redeploy cheaply from their snapshots),
+// then evict the coldest function snapshots (level 2 — future warm
+// starts are lost, nothing else). Only when both levels are exhausted
+// does it report saturation (level 3, the cold fallback, belongs to
+// Invoke, which knows the request).
+func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot, ws []uint64) (*managedUC, int, error) {
 	e := &env{n: n, p: p}
 	host := &ucNetHost{Host: hypercall.NewStubHost(), n: n, port: new(int)}
-	u, err := uc.Deploy(snap, host, e)
+	u, prefetched, err := uc.DeployPrefetched(snap, host, e, ws)
 	for errors.Is(err, mem.ErrOutOfMemory) && n.reclaimOneIdle(p) {
 		n.stats.PressureIdleReclaims++
 		n.cfg.Metrics.Inc(metrics.CtrPressureIdleReclaims)
-		u, err = uc.Deploy(snap, host, e)
+		u, prefetched, err = uc.DeployPrefetched(snap, host, e, ws)
 	}
 	for errors.Is(err, mem.ErrOutOfMemory) && n.evictOneSnapshot(p) {
 		n.stats.PressureSnapshotEvictions++
 		n.cfg.Metrics.Inc(metrics.CtrPressureSnapshotEvictions)
-		u, err = uc.Deploy(snap, host, e)
+		u, prefetched, err = uc.DeployPrefetched(snap, host, e, ws)
 	}
 	if err != nil {
 		if errors.Is(err, mem.ErrOutOfMemory) {
-			return nil, fault.Contain(ErrNodeSaturated)
+			return nil, 0, fault.Contain(ErrNodeSaturated)
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	n.stats.UCsDeployed++
 	n.cfg.Metrics.Inc(metrics.CtrUCsDeployed)
@@ -720,7 +762,7 @@ func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot) (*managedUC, error) 
 		mu.port = port
 		*host.port = port
 	}
-	return mu, nil
+	return mu, prefetched, nil
 }
 
 // ucNetHost is the hypercall host the node gives each UC: non-network
@@ -1089,35 +1131,35 @@ func (n *Node) promote(p *sim.Proc, name string, id uint64, kind metrics.Counter
 	}
 	n.stats.TierHits++
 	n.cfg.Metrics.Inc(metrics.CtrTierHits)
-	diff, err := snapshot.ImportBytes(data)
+	hdr, err := snapshot.PeekWireHeader(data)
 	if err != nil {
 		// The store's CRC passed but the codec refused the bytes (a
 		// foreign or stale format) — the entry can never promote; drop it.
 		st.Delete(name)
 		return nil, err
 	}
-	if diff.Header.BaseName == "" {
+	if hdr.BaseName == "" {
 		return nil, fmt.Errorf("core: promote %q: root diffs are not promotable", name)
 	}
-	base := n.residentSnapshot(diff.Header.BaseName)
+	base := n.residentSnapshot(hdr.BaseName)
 	if base == nil {
-		if base, err = n.promote(p, diff.Header.BaseName, id, kind); err != nil {
+		if base, err = n.promote(p, hdr.BaseName, id, kind); err != nil {
 			return nil, fmt.Errorf("core: promote %q: base: %w", name, err)
 		}
 	}
-	snap, err := snapshot.Graft(diff, base)
+	snap, payloadBytes, err := snapshot.GraftWire(data, base)
 	if err != nil {
 		return nil, err
 	}
-	if len(diff.PayloadBytes) > 0 {
-		payload, perr := uc.DecodePayload(diff.PayloadBytes)
+	if len(payloadBytes) > 0 {
+		payload, perr := uc.DecodePayload(payloadBytes)
 		if perr != nil {
 			snap.Delete()
 			return nil, fmt.Errorf("core: promote %q: payload: %w", name, perr)
 		}
 		snap.SetPayload(payload)
 	}
-	n.chargeTier(p, costs.SnapPromoteBase, costs.SnapPromotePerPage, diff.Header.Pages)
+	n.chargeTier(p, costs.SnapPromoteBase, costs.SnapPromotePerPage, hdr.Pages)
 	if key := strings.TrimPrefix(name, "fn/"); key != name {
 		n.fnSnaps[key] = &fnEntry{snap: snap, last: n.eng.Now()}
 	}
@@ -1153,7 +1195,118 @@ func (n *Node) promoteForInvoke(p *sim.Proc, key string, id uint64) *fnEntry {
 	// may be the snapshot just promoted — the miss then degrades to a
 	// cold rebuild, which is still an answer, not an error.
 	n.evictSnapshotsIfNeeded(p)
-	return n.fnSnaps[key]
+	entry := n.fnSnaps[key]
+	if entry != nil {
+		entry.ws = n.loadWorkingSet("fn/"+key, id)
+	}
+	return entry
+}
+
+// loadWorkingSet fetches the lineage's working-set record from the
+// disk tier, decoded — usually straight from the store's in-memory
+// sidecar cache, so a prefetched restore pays no extra file read. nil
+// means no usable record — missing, or corrupt and therefore dropped —
+// which arms recording on the coming invocation; it is never an error.
+func (n *Node) loadWorkingSet(name string, id uint64) []uint64 {
+	// Fault point: the sidecar corrupts on read. The injected path
+	// re-reads the raw bytes, flips a bit, and runs the real decode so
+	// the CRC catches the damage exactly as a torn disk read would; the
+	// restore degrades to on-demand faulting.
+	if n.cfg.Faults.Fire(fault.PointWSCorrupt) {
+		n.cfg.Metrics.Inc(metrics.CtrFaultsInjected)
+		n.stats.FaultsInjected = faultsInjected(n.cfg.Faults)
+		data, err := n.cfg.SnapStore.GetWorkingSet(name)
+		if err != nil {
+			return nil
+		}
+		data = append([]byte(nil), data...)
+		data[len(data)/2] ^= 0x80
+		if _, derr := snapshot.DecodeWorkingSet(data); derr == nil {
+			return nil // bit flip survived the CRC? drop the record anyway
+		}
+		n.stats.WSCorrupt++
+		n.cfg.Metrics.Inc(metrics.CtrWSRecordsCorrupt)
+		n.cfg.Tracer.Record(trace.Event{
+			At: time.Duration(n.eng.Now()), Kind: trace.KindWorkingSet, ID: id, Key: name,
+			Detail: "corrupt record dropped; restoring on demand",
+		})
+		return nil
+	}
+	ws, ok := n.cfg.SnapStore.GetWorkingSetPages(name)
+	if !ok {
+		return nil
+	}
+	return ws
+}
+
+// harvestWorkingSet runs after a successful lukewarm invocation, while
+// the UC's address space still holds the run's dirty set (resume
+// writes plus invocation writes — exactly the fault storm a later
+// restore would pay). With no record it persists one; with a record it
+// measures coverage and union-merges when drift exceeds an eighth of
+// the recorded set, so records grow toward the lineage's true working
+// set and never thrash on per-invocation noise. Every failure path is
+// silent: the sidecar is an optimization, not state.
+func (n *Node) harvestWorkingSet(mu *managedUC, key string, entry *fnEntry, id uint64) {
+	st := n.cfg.SnapStore
+	if st == nil {
+		return
+	}
+	observed := mu.u.Space().DirtyPages()
+	if len(observed) == 0 {
+		return
+	}
+	name := "fn/" + key
+	if len(entry.ws) == 0 {
+		data, err := snapshot.EncodeWorkingSet(observed)
+		if err != nil || st.PutWorkingSet(name, data) != nil {
+			return
+		}
+		entry.ws = observed
+		n.stats.WSRecorded++
+		n.cfg.Metrics.Inc(metrics.CtrWSRecordsRecorded)
+		n.cfg.Tracer.Record(trace.Event{
+			At: time.Duration(n.eng.Now()), Kind: trace.KindWorkingSet, ID: id, Key: name,
+			Detail: fmt.Sprintf("recorded %d pages", len(observed)),
+		})
+		return
+	}
+	misses := wsMissCount(observed, entry.ws)
+	hits := len(observed) - misses
+	n.stats.WSCoverageHits += int64(hits)
+	n.stats.WSCoverageMisses += int64(misses)
+	n.cfg.Metrics.AddCounter(metrics.CtrWSCoverageHits, int64(hits))
+	n.cfg.Metrics.AddCounter(metrics.CtrWSCoverageMisses, int64(misses))
+	if misses <= len(entry.ws)/8 {
+		return
+	}
+	merged := snapshot.MergeWorkingSets(entry.ws, observed)
+	data, err := snapshot.EncodeWorkingSet(merged)
+	if err != nil || st.PutWorkingSet(name, data) != nil {
+		return
+	}
+	entry.ws = merged
+	n.stats.WSMerged++
+	n.cfg.Metrics.Inc(metrics.CtrWSRecordsMerged)
+	n.cfg.Tracer.Record(trace.Event{
+		At: time.Duration(n.eng.Now()), Kind: trace.KindWorkingSet, ID: id, Key: name,
+		Detail: fmt.Sprintf("merged %d misses into %d-page record", misses, len(merged)),
+	})
+}
+
+// wsMissCount counts pages in observed absent from ws (both sorted
+// ascending) — the drift a record failed to cover.
+func wsMissCount(observed, ws []uint64) int {
+	misses, j := 0, 0
+	for _, page := range observed {
+		for j < len(ws) && ws[j] < page {
+			j++
+		}
+		if j >= len(ws) || ws[j] != page {
+			misses++
+		}
+	}
+	return misses
 }
 
 // PromoteLineage restores one lineage from the disk tier without

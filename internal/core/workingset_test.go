@@ -1,0 +1,240 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"seuss/internal/fault"
+	"seuss/internal/snapstore"
+)
+
+// wsSetupFlushed runs one cold invocation on a node attached to store
+// and flushes the function stack to disk — the precondition every
+// lukewarm test starts from.
+func wsSetupFlushed(t *testing.T, store *snapstore.Store, req Request) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SnapStore = store
+	n, eng := newTestNode(t, cfg)
+	if res, err := invoke(t, n, eng, req); err != nil || res.Path != PathCold {
+		t.Fatalf("setup invoke: path=%v err=%v", res.Path, err)
+	}
+	if n.FlushSnapshots(nil) == 0 {
+		t.Fatal("setup flushed nothing")
+	}
+}
+
+// TestWorkingSetRecordReplayAcrossNodes is the tentpole round trip:
+// the first lukewarm restore of a lineage runs on demand and records
+// the fault storm into a sidecar; a later restore (a fresh node, same
+// store — nothing resident) loads the record and premaps the pages
+// before the first instruction, with byte-identical output.
+func TestWorkingSetRecordReplayAcrossNodes(t *testing.T) {
+	store := newTierStore(t, -1)
+	req := Request{Key: "acct/fn", Source: nopSource, Args: "{}"}
+	wsSetupFlushed(t, store, req)
+
+	// First lukewarm restore: no record yet — on-demand faulting, then
+	// the harvest persists one.
+	cfgB := DefaultConfig()
+	cfgB.SnapStore = store
+	nB, engB := newTestNode(t, cfgB)
+	demandRes, err := invoke(t, nB, engB, req)
+	if err != nil || demandRes.Path != PathLukewarm {
+		t.Fatalf("first lukewarm: path=%v err=%v", demandRes.Path, err)
+	}
+	stB := nB.Stats()
+	if stB.WSRecorded != 1 {
+		t.Fatalf("first lukewarm recorded %d working sets, want 1: %+v", stB.WSRecorded, stB)
+	}
+	if stB.WSPrefetchedPages != 0 {
+		t.Errorf("first lukewarm prefetched %d pages with no record", stB.WSPrefetchedPages)
+	}
+	if _, err := store.GetWorkingSet("fn/acct/fn"); err != nil {
+		t.Fatalf("harvest left no sidecar: %v", err)
+	}
+
+	// Second lukewarm restore on a fresh node: the record replays.
+	cfgC := DefaultConfig()
+	cfgC.SnapStore = store
+	nC, engC := newTestNode(t, cfgC)
+	prefRes, err := invoke(t, nC, engC, req)
+	if err != nil || prefRes.Path != PathLukewarm {
+		t.Fatalf("second lukewarm: path=%v err=%v", prefRes.Path, err)
+	}
+	stC := nC.Stats()
+	if stC.WSPrefetchedPages == 0 {
+		t.Fatalf("recorded lineage restored without prefetch: %+v", stC)
+	}
+	if stC.WSRecorded != 0 {
+		t.Errorf("re-recorded over an existing record: %+v", stC)
+	}
+	if prefRes.Output != demandRes.Output {
+		t.Errorf("prefetched output %q != on-demand output %q", prefRes.Output, demandRes.Output)
+	}
+	// The covered invocation feeds the coverage counters.
+	if stC.WSCoverageHits == 0 {
+		t.Errorf("prefetched invocation counted no coverage hits: %+v", stC)
+	}
+}
+
+// TestWorkingSetPrefetchedFasterThanOnDemand pins the point of the
+// record: a prefetched lukewarm restore charges the batched per-page
+// rate instead of the per-fault rate, so its virtual latency is
+// strictly below the recording restore's.
+func TestWorkingSetPrefetchedFasterThanOnDemand(t *testing.T) {
+	store := newTierStore(t, -1)
+	req := Request{Key: "acct/fn", Source: nopSource, Args: "{}"}
+	wsSetupFlushed(t, store, req)
+
+	cfgB := DefaultConfig()
+	cfgB.SnapStore = store
+	nB, engB := newTestNode(t, cfgB)
+	demandRes, err := invoke(t, nB, engB, req)
+	if err != nil || demandRes.Path != PathLukewarm {
+		t.Fatalf("on-demand lukewarm: path=%v err=%v", demandRes.Path, err)
+	}
+
+	cfgC := DefaultConfig()
+	cfgC.SnapStore = store
+	nC, engC := newTestNode(t, cfgC)
+	prefRes, err := invoke(t, nC, engC, req)
+	if err != nil || prefRes.Path != PathLukewarm {
+		t.Fatalf("prefetched lukewarm: path=%v err=%v", prefRes.Path, err)
+	}
+	if nC.Stats().WSPrefetchedPages == 0 {
+		t.Fatal("second restore did not prefetch; comparison is vacuous")
+	}
+	if !(prefRes.Latency < demandRes.Latency) {
+		t.Errorf("prefetched restore %v not faster than on-demand %v",
+			prefRes.Latency, demandRes.Latency)
+	}
+}
+
+// TestWorkingSetCorruptRecordFallsBack: a sidecar that corrupts on
+// read (injected at the ws-corrupt fault point) must cost nothing but
+// the prefetch — the restore degrades to on-demand faulting with zero
+// client-visible errors and identical output.
+func TestWorkingSetCorruptRecordFallsBack(t *testing.T) {
+	store := newTierStore(t, -1)
+	req := Request{Key: "acct/fn", Source: nopSource, Args: "{}"}
+	wsSetupFlushed(t, store, req)
+
+	// Record the working set with a healthy node.
+	cfgB := DefaultConfig()
+	cfgB.SnapStore = store
+	nB, engB := newTestNode(t, cfgB)
+	healthy, err := invoke(t, nB, engB, req)
+	if err != nil || healthy.Path != PathLukewarm {
+		t.Fatalf("recording restore: path=%v err=%v", healthy.Path, err)
+	}
+
+	// Restore on a node whose every sidecar read corrupts.
+	cfgC := DefaultConfig()
+	cfgC.SnapStore = store
+	cfgC.Faults = fault.New(fault.Config{
+		Schedule: map[fault.Point][]uint64{fault.PointWSCorrupt: {1}},
+	})
+	nC, engC := newTestNode(t, cfgC)
+	res, err := invoke(t, nC, engC, req)
+	if err != nil {
+		t.Fatalf("corrupt sidecar surfaced to the client: %v", err)
+	}
+	if res.Path != PathLukewarm {
+		t.Fatalf("path = %v, want lukewarm", res.Path)
+	}
+	if res.Output != healthy.Output {
+		t.Errorf("degraded output %q != healthy output %q", res.Output, healthy.Output)
+	}
+	st := nC.Stats()
+	if st.WSCorrupt != 1 {
+		t.Errorf("corrupt record not counted: %+v", st)
+	}
+	if st.WSPrefetchedPages != 0 {
+		t.Errorf("corrupt record still prefetched %d pages", st.WSPrefetchedPages)
+	}
+	if st.Errors != 0 {
+		t.Errorf("degradation produced %d errors", st.Errors)
+	}
+	// The sidecar itself is untouched on disk: a later healthy read
+	// still replays it.
+	cfgD := DefaultConfig()
+	cfgD.SnapStore = store
+	nD, engD := newTestNode(t, cfgD)
+	if res, err := invoke(t, nD, engD, req); err != nil || res.Path != PathLukewarm {
+		t.Fatalf("post-fault restore: path=%v err=%v", res.Path, err)
+	} else if nD.Stats().WSPrefetchedPages == 0 {
+		t.Error("record lost after an injected corrupt read")
+	}
+}
+
+// TestWorkingSetMissingRecordIsSilent: a lineage with no sidecar
+// restores exactly as before the feature existed — no error, no
+// prefetch, and the restore arms recording.
+func TestWorkingSetMissingRecordIsSilent(t *testing.T) {
+	store := newTierStore(t, -1)
+	req := Request{Key: "acct/fn", Source: nopSource, Args: "{}"}
+	wsSetupFlushed(t, store, req)
+
+	cfg := DefaultConfig()
+	cfg.SnapStore = store
+	n, eng := newTestNode(t, cfg)
+	res, err := invoke(t, n, eng, req)
+	if err != nil || res.Path != PathLukewarm {
+		t.Fatalf("path=%v err=%v", res.Path, err)
+	}
+	st := n.Stats()
+	if st.WSPrefetchedPages != 0 || st.WSCorrupt != 0 || st.Errors != 0 {
+		t.Errorf("missing record was not silent: %+v", st)
+	}
+	if st.WSRecorded != 1 {
+		t.Errorf("missing record did not arm recording: %+v", st)
+	}
+}
+
+// TestWorkingSetRecordDeterministic: the same workload under the same
+// seed produces bit-identical sidecar bytes — the property that makes
+// the record content-addressable and fabric-shippable.
+func TestWorkingSetRecordDeterministic(t *testing.T) {
+	record := func() []byte {
+		store := newTierStore(t, -1)
+		req := Request{Key: "acct/fn", Source: nopSource, Args: "{}"}
+		wsSetupFlushed(t, store, req)
+		cfg := DefaultConfig()
+		cfg.SnapStore = store
+		n, eng := newTestNode(t, cfg)
+		if res, err := invoke(t, n, eng, req); err != nil || res.Path != PathLukewarm {
+			t.Fatalf("path=%v err=%v", res.Path, err)
+		}
+		data, err := store.GetWorkingSet("fn/acct/fn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := record(), record()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same workload produced different records (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestWSMissCount pins the drift arithmetic harvestWorkingSet merges
+// on.
+func TestWSMissCount(t *testing.T) {
+	cases := []struct {
+		observed, ws []uint64
+		want         int
+	}{
+		{nil, nil, 0},
+		{[]uint64{4096}, nil, 1},
+		{[]uint64{4096}, []uint64{4096}, 0},
+		{[]uint64{4096, 8192, 12288}, []uint64{8192}, 2},
+		{[]uint64{8192}, []uint64{4096, 12288}, 1},
+		{[]uint64{4096, 12288}, []uint64{4096, 8192, 12288}, 0},
+	}
+	for _, c := range cases {
+		if got := wsMissCount(c.observed, c.ws); got != c.want {
+			t.Errorf("wsMissCount(%v, %v) = %d, want %d", c.observed, c.ws, got, c.want)
+		}
+	}
+}

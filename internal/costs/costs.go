@@ -73,6 +73,18 @@ var (
 	// SnapPromotePerPage is charged per diff page read and grafted onto
 	// the resident base during promotion.
 	SnapPromotePerPage = 500 * time.Nanosecond
+
+	// WSPrefetchBase is the fixed cost of replaying a working-set
+	// record on a lukewarm deploy: sidecar read, decode, and the setup
+	// of one batched page-table walk (DESIGN.md §13).
+	WSPrefetchBase = 8 * time.Microsecond
+
+	// WSPrefetchPerPage is charged per working-set page bulk-mapped
+	// before the first instruction. The whole point of record/replay
+	// (REAP, arXiv 2101.09355): a page resolved inside one batched
+	// span walk costs ~40 ns, versus the 1.5 µs trap-and-resolve of an
+	// on-demand PageFault — the serial fault storm collapses ~37×.
+	WSPrefetchPerPage = 40 * time.Nanosecond
 )
 
 // ---- Guest software stack (Rumprun + interpreter) ----

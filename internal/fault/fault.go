@@ -71,6 +71,11 @@ const (
 	// by no one — heartbeats stop, placements skip it, and its state
 	// machine walks alive → suspect → dead until the partition heals.
 	PointMemberPartition Point = "member-partition"
+	// PointWSCorrupt corrupts a working-set sidecar as it is read for a
+	// lukewarm restore (core promote): decode fails, the record is
+	// dropped, and the restore degrades to on-demand faulting — the
+	// invocation still succeeds.
+	PointWSCorrupt Point = "ws-corrupt"
 )
 
 var (
@@ -85,6 +90,7 @@ var (
 		PointMemberCrash:     "cluster member dies; RAM state lost, disk tier survives, invocations fail over",
 		PointMemberRestart:   "crashed member rejoins; manifest resync and disk-tier prewarm",
 		PointMemberPartition: "member unreachable but running; suspected, then declared dead until healed",
+		PointWSCorrupt:       "working-set sidecar corrupts on read; restore degrades to on-demand faulting",
 	}
 )
 

@@ -92,6 +92,13 @@ const (
 	CtrFabricRepairsRefetched
 	CtrFabricRepairsCold
 	CtrFabricRepairsFailed
+	// Working-set record/replay on the lukewarm path.
+	CtrWSRecordsRecorded
+	CtrWSRecordsMerged
+	CtrWSRecordsCorrupt
+	CtrWSPrefetchedPages
+	CtrWSCoverageHits
+	CtrWSCoverageMisses
 
 	numCounters
 )
@@ -175,6 +182,13 @@ var counterDescs = [numCounters]desc{
 	CtrFabricRepairsRefetched: {"seuss_fabric_repairs_total", "", `outcome="refetched"`},
 	CtrFabricRepairsCold:      {"seuss_fabric_repairs_total", "", `outcome="cold"`},
 	CtrFabricRepairsFailed:    {"seuss_fabric_repairs_total", "", `outcome="failed"`},
+
+	CtrWSRecordsRecorded: {"seuss_ws_records_total", "Working-set record events on the lukewarm path, by outcome.", `outcome="recorded"`},
+	CtrWSRecordsMerged:   {"seuss_ws_records_total", "", `outcome="merged"`},
+	CtrWSRecordsCorrupt:  {"seuss_ws_records_total", "", `outcome="corrupt"`},
+	CtrWSPrefetchedPages: {"seuss_ws_prefetched_pages_total", "Pages bulk-mapped from working-set records before lukewarm resume.", ""},
+	CtrWSCoverageHits:    {"seuss_ws_coverage_pages_total", "Pages a lukewarm invocation touched, split by working-set coverage.", `result="hit"`},
+	CtrWSCoverageMisses:  {"seuss_ws_coverage_pages_total", "", `result="miss"`},
 }
 
 var histDescs = [numHists]desc{

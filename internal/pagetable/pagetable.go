@@ -162,6 +162,12 @@ type FaultStats struct {
 	CoW         int
 	SharedMap   int
 	TableClones int // interior nodes privatized by CoW-on-write paths
+	// Prefetched counts pages resolved by PrefetchWritable — the
+	// working-set bulk-map path. Deliberately NOT part of Copied():
+	// the libos bills Copied() deltas at the per-fault rate, while
+	// prefetched pages are charged once, in bulk, at the far cheaper
+	// batched-walk rate (costs.WSPrefetchPerPage).
+	Prefetched int
 }
 
 // Copied returns the number of private pages created by faults.
@@ -624,6 +630,233 @@ func (as *AddressSpace) CloneRange(va uint64, size uint64) (int, error) {
 		}
 	}
 	return cloned, nil
+}
+
+// InstallCoWPages bulk-installs fresh private frames at the given VAs
+// as read-only CoW mappings — the graft fast path. Each page gets a
+// newly allocated frame (materialized with contents[va] when present,
+// left as an unmaterialized zero page otherwise); existing mappings at
+// the same VA are replaced. Unlike Store, nothing faults, nothing is
+// dirty-listed, and shared path nodes are privatized once per 2 MB
+// span rather than once per page. The resulting entries are exactly
+// what Capture's SetCoWAll + Clone would have produced for the same
+// stores, so a snapshot built over them re-exports byte-identically.
+func (as *AddressSpace) InstallCoWPages(vas []uint64, contents map[uint64][]byte) error {
+	if as.frozen {
+		panic("pagetable: InstallCoWPages on frozen address space")
+	}
+	var pt *node
+	spanBase, spanOK := uint64(0), false
+	for _, va := range vas {
+		if va >= MaxVirtual || va%mem.PageSize != 0 {
+			return ErrBadAddress
+		}
+		if !spanOK || va&^spanMask != spanBase {
+			var err error
+			pt, err = as.walk(va, true)
+			if err != nil {
+				return err
+			}
+			spanBase, spanOK = va&^spanMask, true
+		}
+		f, err := as.st.Alloc()
+		if err != nil {
+			return err
+		}
+		if content := contents[va]; content != nil {
+			f.Write(0, content)
+		}
+		e := &pt.entries[index(va, 0)]
+		if e.frame != nil {
+			as.st.DecRef(e.frame)
+		} else {
+			as.mapped++
+		}
+		e.frame = f
+		e.flags = FlagPresent | FlagUser | FlagCoW | FlagAccessed
+	}
+	return nil
+}
+
+// InstallCoWPagesSparse is InstallCoWPages for a restore: pages whose
+// installed mapping would be indistinguishable from the fault path's
+// default are skipped and returned instead of installed. A page
+// qualifies when it has no content and its current mapping already
+// reads as zeros — either no entry at all (a later touch demand-zero
+// faults to a fresh zero page) or an inherited frame that was never
+// materialized (reads as zeros now; a write CoW-clones another zero
+// page). Installing such a page buys nothing the fault path doesn't
+// already guarantee, and a typical diff is almost entirely such pages.
+//
+// contentVAs must be the subsequence of vas that carries content, with
+// contents aligned to it — the loop advances both in lockstep, so the
+// common contentless page costs one entry inspection and no hashing.
+//
+// The returned slice (ascending if vas is ascending) is the caller's to
+// keep: a snapshot that skipped pages must remember them so re-export
+// reproduces the original wire bytes (see snapshot.GraftBulk).
+func (as *AddressSpace) InstallCoWPagesSparse(vas []uint64, contentVAs []uint64, contents [][]byte) ([]uint64, error) {
+	si := as.NewSparseInstaller(len(vas))
+	ci := 0
+	for _, va := range vas {
+		var content []byte
+		if ci < len(contentVAs) && contentVAs[ci] == va {
+			content = contents[ci]
+			ci++
+		}
+		if err := si.Page(va, content); err != nil {
+			return si.lazy, err
+		}
+	}
+	return si.lazy, nil
+}
+
+// SparseInstaller streams diff pages into the space under the
+// InstallCoWPagesSparse contract, one Page call at a time. It exists so
+// a caller that decodes pages from a wire image can fuse decode and
+// install into a single pass (snapshot.GraftWire) instead of staging
+// the page list and content table first. Pages must arrive in ascending
+// order for Lazy() to be ascending; spans repeat no walk work between
+// consecutive pages of the same 2 MB span.
+type SparseInstaller struct {
+	as       *AddressSpace
+	pt       *node
+	spanBase uint64
+	spanOK   bool
+	built    bool // whether pt came from a build walk (private, installable)
+	lazy     []uint64
+}
+
+// NewSparseInstaller prepares a streaming installer expecting about
+// expect pages (a capacity hint for the lazy list).
+func (as *AddressSpace) NewSparseInstaller(expect int) *SparseInstaller {
+	if as.frozen {
+		panic("pagetable: SparseInstaller on frozen address space")
+	}
+	return &SparseInstaller{as: as, lazy: make([]uint64, 0, expect)}
+}
+
+// Page installs one diff page (content nil for a zero page). Zero pages
+// whose current mapping already reads as zeros are skipped and recorded
+// in Lazy instead — see InstallCoWPagesSparse.
+func (si *SparseInstaller) Page(va uint64, content []byte) error {
+	as := si.as
+	if va >= MaxVirtual || va%mem.PageSize != 0 {
+		return ErrBadAddress
+	}
+	if !si.spanOK || va&^spanMask != si.spanBase {
+		pt, err := as.walk(va, false)
+		if err != nil {
+			return err
+		}
+		si.pt, si.spanBase, si.spanOK, si.built = pt, va&^spanMask, true, false
+	}
+	if content == nil {
+		if si.pt == nil {
+			si.lazy = append(si.lazy, va)
+			return nil
+		}
+		if e := &si.pt.entries[index(va, 0)]; e.frame == nil || !e.frame.Materialized() {
+			si.lazy = append(si.lazy, va)
+			return nil
+		}
+	}
+	if !si.built {
+		pt, err := as.walk(va, true)
+		if err != nil {
+			return err
+		}
+		si.pt, si.built = pt, true
+	}
+	f, err := as.st.Alloc()
+	if err != nil {
+		return err
+	}
+	if content != nil {
+		f.Write(0, content)
+	}
+	e := &si.pt.entries[index(va, 0)]
+	if e.frame != nil {
+		as.st.DecRef(e.frame)
+	} else {
+		as.mapped++
+	}
+	e.frame = f
+	e.flags = FlagPresent | FlagUser | FlagCoW | FlagAccessed
+	return nil
+}
+
+// Lazy returns the skipped page VAs, ascending when pages arrived
+// ascending. The slice is the caller's to keep.
+func (si *SparseInstaller) Lazy() []uint64 { return si.lazy }
+
+// PrefetchWritable bulk-resolves the given page-base VAs for writing —
+// the working-set replay path (DESIGN.md §13). Each page is made
+// privately writable exactly as faultForWrite would (demand-zero
+// allocation for absent pages, a frame clone for CoW pages), but the
+// table walk and path privatization happen once per 2 MB span instead
+// of once per fault, and the resolutions count into Faults.Prefetched
+// rather than DemandZero/CoW — the caller charges them in bulk at the
+// batched rate, not at the per-fault rate.
+//
+// Prefetched pages are marked dirty and dirty-listed: the record was
+// harvested from a dirty set, so the pages are expected to be written,
+// and keeping them observable in DirtyPages is what makes the next
+// harvest the union the drift-merge rule needs. Already-writable pages
+// are skipped. Returns the number of pages resolved.
+func (as *AddressSpace) PrefetchWritable(vas []uint64) (int, error) {
+	if as.frozen {
+		panic("pagetable: PrefetchWritable on frozen address space")
+	}
+	var pt *node
+	spanBase, spanOK := uint64(0), false
+	resolved := 0
+	for _, va := range vas {
+		if va >= MaxVirtual || va%mem.PageSize != 0 {
+			return resolved, ErrBadAddress
+		}
+		if !spanOK || va&^spanMask != spanBase {
+			var err error
+			pt, err = as.walk(va, true)
+			if err != nil {
+				return resolved, err
+			}
+			spanBase, spanOK = va&^spanMask, true
+		}
+		e := &pt.entries[index(va, 0)]
+		switch {
+		case e.frame == nil:
+			f, err := as.st.Alloc()
+			if err != nil {
+				return resolved, err
+			}
+			e.frame = f
+			e.flags = FlagPresent | FlagWritable | FlagUser
+			as.mapped++
+		case e.flags&FlagWritable == 0 && e.flags&FlagCoW != 0:
+			f, err := as.st.Clone(e.frame)
+			if err != nil {
+				return resolved, err
+			}
+			as.st.DecRef(e.frame)
+			e.frame = f
+			e.flags = (e.flags &^ FlagCoW) | FlagWritable
+		default:
+			continue // already writable (or protected): nothing to prefetch
+		}
+		if e.flags&flagDirtyListed == 0 {
+			as.dirty = append(as.dirty, va)
+		}
+		e.flags |= FlagDirty | FlagAccessed | flagDirtyListed
+		as.Faults.Prefetched++
+		resolved++
+	}
+	if spanOK {
+		// Seed the one-entry fault cache with the last span: residual
+		// on-demand faults often land near the tail of the working set.
+		as.cacheBase, as.cachePT, as.cacheOK = spanBase, pt, true
+	}
+	return resolved, nil
 }
 
 // DirtyPages returns the sorted page-base addresses written since

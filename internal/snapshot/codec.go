@@ -125,7 +125,9 @@ func (s *Snapshot) Export(w io.Writer) error {
 	putU32(uint32(len(pages)))
 	for _, pg := range pages {
 		putU64(pg.va)
-		if content := pg.frame.Bytes(); content != nil {
+		// A nil frame is a lazy zero page (skipped at graft): wire-wise
+		// identical to an unmaterialized frame, i.e. no content.
+		if content := pg.frameBytes(); content != nil {
 			scratch[0] = 1
 			cw.write(scratch[:1])
 			cw.write(content) // straight from the frame, no copy
@@ -144,11 +146,20 @@ func (s *Snapshot) Export(w io.Writer) error {
 
 type diffPage struct {
 	va    uint64
-	frame *mem.Frame
+	frame *mem.Frame // nil for a lazy zero page recorded in s.lazyZero
+}
+
+func (pg diffPage) frameBytes() []byte {
+	if pg.frame == nil {
+		return nil
+	}
+	return pg.frame.Bytes()
 }
 
 // diffPageSet walks the snapshot's space and its base's, collecting the
-// pages whose frames differ.
+// pages whose frames differ, then merges in the lazy zero pages a
+// sparse graft skipped — both lists are ascending, so the result is the
+// exact page sequence of the original wire encoding.
 func (s *Snapshot) diffPageSet() []diffPage {
 	var out []diffPage
 	var baseSpace *pagetable.AddressSpace
@@ -167,7 +178,21 @@ func (s *Snapshot) diffPageSet() []diffPage {
 		}
 		out = append(out, diffPage{va: va, frame: f})
 	}
-	return out
+	if len(s.lazyZero) == 0 {
+		return out
+	}
+	merged := make([]diffPage, 0, len(out)+len(s.lazyZero))
+	i, j := 0, 0
+	for i < len(out) || j < len(s.lazyZero) {
+		if j >= len(s.lazyZero) || (i < len(out) && out[i].va < s.lazyZero[j]) {
+			merged = append(merged, out[i])
+			i++
+		} else {
+			merged = append(merged, diffPage{va: s.lazyZero[j]})
+			j++
+		}
+	}
+	return merged
 }
 
 // ImportHeader is the decoded metadata of an exported diff.
@@ -190,6 +215,10 @@ type ImportedDiff struct {
 	// Contents maps page addresses to 4 KiB payloads (absent for zero
 	// pages).
 	Contents map[uint64][]byte
+	// ContentVAs lists the addresses present in Contents in wire order
+	// (ascending) — the graft fast path walks it in lockstep with
+	// PageVAs instead of hashing every page into Contents.
+	ContentVAs []uint64
 }
 
 // LogicalBytes returns the diff's in-memory size (pages × PageSize) —
@@ -279,60 +308,11 @@ func (c *importCursor) u64() uint64 {
 // from an encoded base image no longer duplicates the whole image into
 // per-page buffers before writing it into frames.
 func ImportBytes(raw []byte) (*ImportedDiff, error) {
-	if len(raw) < 12 {
-		return nil, fmt.Errorf("%w: truncated", ErrCodec)
+	cur, hdr, payload, npages, err := decodePreamble(raw)
+	if err != nil {
+		return nil, err
 	}
-	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCodec)
-	}
-	cur := &importCursor{b: body}
-	if magic := cur.take(4); magic == nil || string(magic) != codecMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCodec, magic)
-	}
-	version := cur.u16()
-	cur.u16() // flags (reserved)
-	if cur.bad {
-		return nil, fmt.Errorf("%w: truncated header", ErrCodec)
-	}
-	if version != codecVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
-	}
-	readString := func() string { return string(cur.take(int(cur.u16()))) }
-	out := &ImportedDiff{Contents: make(map[uint64][]byte)}
-	out.Header.Name = readString()
-	if cur.bad {
-		return nil, fmt.Errorf("%w: name: truncated", ErrCodec)
-	}
-	out.Header.BaseName = readString()
-	if cur.bad {
-		return nil, fmt.Errorf("%w: base: truncated", ErrCodec)
-	}
-	out.Header.Regs.PC = cur.u64()
-	out.Header.Regs.SP = cur.u64()
-	out.Header.Regs.Flags = cur.u64()
-	for i := range out.Header.Regs.GPR {
-		out.Header.Regs.GPR[i] = cur.u64()
-	}
-	plen := cur.u32()
-	if cur.bad {
-		return nil, fmt.Errorf("%w: payload length: truncated", ErrCodec)
-	}
-	if plen > 0 {
-		out.PayloadBytes = cur.take(int(plen))
-		if cur.bad {
-			return nil, fmt.Errorf("%w: payload: truncated", ErrCodec)
-		}
-	}
-	npages := cur.u32()
-	if cur.bad {
-		return nil, fmt.Errorf("%w: page count: truncated", ErrCodec)
-	}
-	// Each page costs at least 9 bytes on the wire; reject counts the
-	// remaining body cannot possibly hold before allocating for them.
-	if int64(npages)*9 > int64(len(body)-cur.off) {
-		return nil, fmt.Errorf("%w: page count %d exceeds body", ErrCodec, npages)
-	}
+	out := &ImportedDiff{Header: hdr, PayloadBytes: payload, Contents: make(map[uint64][]byte)}
 	out.PageVAs = make([]uint64, 0, npages)
 	for i := uint32(0); i < npages; i++ {
 		va := cur.u64()
@@ -347,10 +327,83 @@ func ImportBytes(raw []byte) (*ImportedDiff, error) {
 				return nil, fmt.Errorf("%w: page %d content: truncated", ErrCodec, i)
 			}
 			out.Contents[va] = content
+			out.ContentVAs = append(out.ContentVAs, va)
 		}
 	}
 	out.Header.Pages = len(out.PageVAs)
 	return out, nil
+}
+
+// PeekWireHeader decodes an encoded diff's header — name, lineage,
+// registers, page count — without touching its pages. The wire CRC is
+// verified. Restore paths use it to resolve the graft base before
+// handing the same bytes to GraftWire.
+func PeekWireHeader(raw []byte) (ImportHeader, error) {
+	_, hdr, _, _, err := decodePreamble(raw)
+	return hdr, err
+}
+
+// decodePreamble validates raw's CRC and decodes everything up to (and
+// including) the page count, leaving the cursor at the first page
+// record. The returned payload aliases raw.
+func decodePreamble(raw []byte) (*importCursor, ImportHeader, []byte, uint32, error) {
+	var hdr ImportHeader
+	if len(raw) < 12 {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: truncated", ErrCodec)
+	}
+	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCodec)
+	}
+	cur := &importCursor{b: body}
+	if magic := cur.take(4); magic == nil || string(magic) != codecMagic {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: bad magic %q", ErrCodec, magic)
+	}
+	version := cur.u16()
+	cur.u16() // flags (reserved)
+	if cur.bad {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: truncated header", ErrCodec)
+	}
+	if version != codecVersion {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
+	}
+	readString := func() string { return string(cur.take(int(cur.u16()))) }
+	hdr.Name = readString()
+	if cur.bad {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: name: truncated", ErrCodec)
+	}
+	hdr.BaseName = readString()
+	if cur.bad {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: base: truncated", ErrCodec)
+	}
+	hdr.Regs.PC = cur.u64()
+	hdr.Regs.SP = cur.u64()
+	hdr.Regs.Flags = cur.u64()
+	for i := range hdr.Regs.GPR {
+		hdr.Regs.GPR[i] = cur.u64()
+	}
+	plen := cur.u32()
+	if cur.bad {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: payload length: truncated", ErrCodec)
+	}
+	var payload []byte
+	if plen > 0 {
+		payload = cur.take(int(plen))
+		if cur.bad {
+			return nil, hdr, nil, 0, fmt.Errorf("%w: payload: truncated", ErrCodec)
+		}
+	}
+	npages := cur.u32()
+	if cur.bad {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: page count: truncated", ErrCodec)
+	}
+	// Each page costs at least 9 bytes on the wire; reject counts the
+	// remaining body cannot possibly hold before allocating for them.
+	if int64(npages)*9 > int64(len(body)-cur.off) {
+		return nil, hdr, nil, 0, fmt.Errorf("%w: page count %d exceeds body", ErrCodec, npages)
+	}
+	hdr.Pages = int(npages)
+	return cur, hdr, payload, npages, nil
 }
 
 // Materialize reconstructs a *root* snapshot (one exported with no
@@ -435,4 +488,118 @@ func Graft(diff *ImportedDiff, base *Snapshot) (*Snapshot, error) {
 	space.Release()
 	base.ReleaseUC()
 	return snap, nil
+}
+
+// GraftBulk is Graft's bulk-install fast path: the same contract (same
+// resulting name, registers, page contents, and re-export bytes) with
+// the per-page write-fault resolution, the full-tree SetCoWAll walk,
+// and the second page-table clone all skipped. The diff pages are
+// installed directly as read-only CoW mappings backed by fresh private
+// frames, and the deployed space itself is frozen into the snapshot —
+// one table walk per 2 MB span instead of a fault per page plus a walk
+// over the whole tree.
+//
+// This is what drops the lukewarm restore's snapshot-reconstruction
+// cost from O(image) to O(diff): the prefetched restore path
+// (DESIGN.md §13) runs it on every promote.
+func GraftBulk(diff *ImportedDiff, base *Snapshot) (*Snapshot, error) {
+	if base == nil {
+		return nil, fmt.Errorf("%w: graft requires a base", ErrCodec)
+	}
+	if base.name != diff.Header.BaseName {
+		return nil, fmt.Errorf("%w: base %q does not match diff lineage %q",
+			ErrCodec, base.name, diff.Header.BaseName)
+	}
+	space, _, err := base.Deploy()
+	if err != nil {
+		return nil, err
+	}
+	var contents [][]byte
+	if len(diff.ContentVAs) > 0 {
+		contents = make([][]byte, len(diff.ContentVAs))
+		for i, va := range diff.ContentVAs {
+			contents[i] = diff.Contents[va]
+		}
+	}
+	lazy, err := space.InstallCoWPagesSparse(diff.PageVAs, diff.ContentVAs, contents)
+	if err != nil {
+		space.Release()
+		base.ReleaseUC()
+		return nil, err
+	}
+	space.Freeze()
+	snap := &Snapshot{
+		name:      diff.Header.Name,
+		base:      base,
+		space:     space,
+		regs:      diff.Header.Regs,
+		diffPages: len(diff.PageVAs),
+		lazyZero:  lazy,
+	}
+	base.children++
+	base.ReleaseUC()
+	return snap, nil
+}
+
+// GraftWire is ImportBytes fused with GraftBulk: one pass over the
+// encoded diff that installs (or lazily skips) each page as it is
+// decoded, with no intermediate page list, content table, or diff
+// struct. Validation, the resulting snapshot, and its re-export bytes
+// are identical to the two-step path. The second return value is the
+// diff's opaque payload bytes (aliasing raw; decode with
+// uc.DecodePayload and attach via SetPayload).
+//
+// This is the restore path's entry point: a lukewarm promote decodes
+// straight from the snapstore read buffer into page-table state.
+func GraftWire(raw []byte, base *Snapshot) (*Snapshot, []byte, error) {
+	if base == nil {
+		return nil, nil, fmt.Errorf("%w: graft requires a base", ErrCodec)
+	}
+	cur, hdr, payload, npages, err := decodePreamble(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if base.name != hdr.BaseName {
+		return nil, nil, fmt.Errorf("%w: base %q does not match diff lineage %q",
+			ErrCodec, base.name, hdr.BaseName)
+	}
+	space, _, err := base.Deploy()
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*Snapshot, []byte, error) {
+		space.Release()
+		base.ReleaseUC()
+		return nil, nil, err
+	}
+	si := space.NewSparseInstaller(int(npages))
+	for i := uint32(0); i < npages; i++ {
+		va := cur.u64()
+		has := cur.take(1)
+		if cur.bad {
+			return fail(fmt.Errorf("%w: page %d: truncated", ErrCodec, i))
+		}
+		var content []byte
+		if has[0] == 1 {
+			content = cur.take(mem.PageSize)
+			if cur.bad {
+				return fail(fmt.Errorf("%w: page %d content: truncated", ErrCodec, i))
+			}
+		}
+		if err := si.Page(va, content); err != nil {
+			return fail(err)
+		}
+	}
+	space.Freeze()
+	snap := &Snapshot{
+		name:      hdr.Name,
+		base:      base,
+		space:     space,
+		regs:      hdr.Regs,
+		diffPages: int(npages),
+		lazyZero:  si.Lazy(),
+	}
+	base.children++
+	base.ReleaseUC()
+	return snap, payload, nil
 }

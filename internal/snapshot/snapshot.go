@@ -61,6 +61,13 @@ type Snapshot struct {
 	deploys   int64
 	deleted   bool
 	payload   interface{}
+	// lazyZero lists diff page VAs (ascending) that GraftBulk left
+	// uninstalled because the fault path rehydrates them identically
+	// (no content, and the base reads as zeros there). They are still
+	// part of the diff: export merges them back as zero pages so the
+	// re-encoded wire bytes — and therefore the content digest — match
+	// the original exactly.
+	lazyZero []uint64
 	// kits caches retired deploy kits — opaque bundles of guest-side
 	// structures (UC shell, unikernel, interpreter) whose state still
 	// equals this snapshot's payload, parked here by the UC layer at

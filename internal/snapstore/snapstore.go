@@ -82,6 +82,7 @@ type Stats struct {
 	PutRejected    int64 // Puts refused by the byte capacity
 	Evictions      int64 // entries displaced by the LRU
 	CorruptDropped int64 // entries deleted after failing CRC
+	WSDropped      int64 // working-set sidecars GC'd on Open (orphaned or corrupt)
 	Entries        int   // current entry count
 	Bytes          int64 // current resident bytes (per entry; shared files counted once per key)
 	DiskFiles      int   // unique content-addressed files on disk
@@ -99,7 +100,24 @@ type Store struct {
 	bytes   int64
 	flights map[string]*flight
 	stats   Stats
+	// wsCache holds decoded working-set records by sidecar file name.
+	// The store decodes every sidecar it accepts (Put validation, Open
+	// GC), so serving the decoded pages from memory makes the prefetch
+	// lookup free on the restore hot path; the file stays the source of
+	// truth across restarts. Callers must treat the slices as read-only.
+	wsCache map[string][]uint64
+	// fds caches open descriptors for data files so repeated lukewarm
+	// restores pay a single pread instead of an open/stat/read/close
+	// round trip. Data files are immutable once renamed into place
+	// (content-addressed), so a cached descriptor never serves stale
+	// bytes. Descriptors are opened and closed under mu; the read
+	// itself uses ReadAt outside the lock, which is safe on *os.File.
+	fds     map[string]*os.File
+	fdOrder []string // FIFO eviction order, bounded by maxCachedFDs
 }
+
+// maxCachedFDs bounds how many data-file descriptors Get keeps open.
+const maxCachedFDs = 64
 
 type flight struct {
 	done chan struct{}
@@ -123,6 +141,8 @@ func Open(dir string, capBytes int64) (*Store, error) {
 		cap:     capBytes,
 		man:     manifest{Version: 1, Entries: make(map[string]entry)},
 		flights: make(map[string]*flight),
+		wsCache: make(map[string][]uint64),
+		fds:     make(map[string]*os.File),
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -137,6 +157,7 @@ func (s *Store) recover() error {
 		return fmt.Errorf("snapstore: %w", err)
 	}
 	onDisk := make(map[string]int64) // .snap file → size
+	var wsOnDisk []string           // working-set sidecars, GC'd after entries settle
 	for _, de := range names {
 		name := de.Name()
 		switch {
@@ -148,6 +169,8 @@ func (s *Store) recover() error {
 			if info, err := de.Info(); err == nil {
 				onDisk[name] = info.Size()
 			}
+		case strings.HasSuffix(name, ".ws"):
+			wsOnDisk = append(wsOnDisk, name)
 		}
 	}
 
@@ -214,6 +237,7 @@ func (s *Store) recover() error {
 	s.stats.Entries = len(s.man.Entries)
 	s.stats.Bytes = s.bytes
 	s.evictLocked(0)
+	s.recoverWorkingSets(wsOnDisk)
 	return s.syncLocked()
 }
 
@@ -329,9 +353,10 @@ func (s *Store) Get(key string) ([]byte, error) {
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
+	fd := s.fds[e.File]
 	s.mu.Unlock()
 
-	data, err := os.ReadFile(filepath.Join(s.dir, e.File))
+	data, err := s.readFileCached(fd, e)
 	corrupt := false
 	if err != nil {
 		err = fmt.Errorf("%w: %v", ErrNotFound, err)
@@ -493,7 +518,8 @@ func (s *Store) dropLocked(key string) {
 
 // removeFileIfUnreferenced deletes file unless another entry (excluding
 // exceptKey) still addresses it — content addressing means two lineages
-// with identical bytes share one file.
+// with identical bytes share one file. The working-set sidecar rides on
+// the content, so it goes when the last reference does.
 func (s *Store) removeFileIfUnreferenced(file, exceptKey string) {
 	for k, e := range s.man.Entries {
 		if k != exceptKey && e.File == file {
@@ -501,6 +527,87 @@ func (s *Store) removeFileIfUnreferenced(file, exceptKey string) {
 		}
 	}
 	os.Remove(filepath.Join(s.dir, file))
+	os.Remove(filepath.Join(s.dir, wsFile(file)))
+	delete(s.wsCache, wsFile(file))
+	if fd, ok := s.fds[file]; ok {
+		delete(s.fds, file)
+		for i, name := range s.fdOrder {
+			if name == file {
+				s.fdOrder = append(s.fdOrder[:i], s.fdOrder[i+1:]...)
+				break
+			}
+		}
+		fd.Close()
+	}
+}
+
+// readFileCached reads entry e's data file, preferring a descriptor
+// cached by an earlier Get. On a miss it opens the file, reads it, and
+// leaves the descriptor cached for the next restore of the same
+// content. Any failure on the cached descriptor drops it and retries
+// with a fresh open, so a raced eviction degrades to the slow path
+// rather than an error.
+func (s *Store) readFileCached(fd *os.File, e entry) ([]byte, error) {
+	if fd != nil {
+		data := make([]byte, e.Size)
+		if _, err := fd.ReadAt(data, 0); err == nil {
+			return data, nil
+		}
+		s.dropFD(fd)
+	}
+	fd, err := os.Open(filepath.Join(s.dir, e.File))
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, e.Size)
+	if _, err := fd.ReadAt(data, 0); err != nil {
+		fd.Close()
+		return nil, err
+	}
+	s.cacheFD(e.File, fd)
+	return data, nil
+}
+
+// cacheFD records fd for name, evicting the oldest descriptor when the
+// cache is full. If a concurrent Get already cached one, the newcomer
+// closes.
+func (s *Store) cacheFD(name string, fd *os.File) {
+	s.mu.Lock()
+	if _, ok := s.fds[name]; ok {
+		s.mu.Unlock()
+		fd.Close()
+		return
+	}
+	s.fds[name] = fd
+	s.fdOrder = append(s.fdOrder, name)
+	var evict *os.File
+	if len(s.fdOrder) > maxCachedFDs {
+		old := s.fdOrder[0]
+		s.fdOrder = append([]string(nil), s.fdOrder[1:]...)
+		evict = s.fds[old]
+		delete(s.fds, old)
+	}
+	s.mu.Unlock()
+	if evict != nil {
+		evict.Close()
+	}
+}
+
+// dropFD removes fd from the cache (wherever it is keyed) and closes
+// it. *os.File guards against use-after-close internally, so a reader
+// racing the close sees an error and falls back, never another file's
+// bytes.
+func (s *Store) dropFD(fd *os.File) {
+	s.mu.Lock()
+	for i, name := range s.fdOrder {
+		if s.fds[name] == fd {
+			delete(s.fds, name)
+			s.fdOrder = append(s.fdOrder[:i], s.fdOrder[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	fd.Close()
 }
 
 // evictLocked displaces least-recently-used entries until the resident

@@ -1,0 +1,283 @@
+package snapstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"seuss/internal/snapshot"
+)
+
+func encodeWS(t testing.TB, pages []uint64) []byte {
+	t.Helper()
+	data, err := snapshot.EncodeWorkingSet(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestWorkingSetSidecarRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn/a", "", []byte("layer-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{4096, 8192, 1 << 20}
+	rec := encodeWS(t, want)
+	if err := s.PutWorkingSet("fn/a", rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.GetWorkingSet("fn/a")
+	if err != nil || !bytes.Equal(raw, rec) {
+		t.Fatalf("raw sidecar: err=%v, %d bytes want %d", err, len(raw), len(rec))
+	}
+	pages, ok := s.GetWorkingSetPages("fn/a")
+	if !ok || len(pages) != len(want) {
+		t.Fatalf("pages = %v, %v", pages, ok)
+	}
+	for i := range want {
+		if pages[i] != want[i] {
+			t.Fatalf("pages = %v, want %v", pages, want)
+		}
+	}
+	// No layer, no sidecar.
+	if err := s.PutWorkingSet("fn/missing", rec); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("sidecar without layer: %v", err)
+	}
+	if _, ok := s.GetWorkingSetPages("fn/missing"); ok {
+		t.Fatal("pages for missing layer")
+	}
+	// A record that does not decode is refused up front.
+	if err := s.PutWorkingSet("fn/a", []byte("garbage")); err == nil {
+		t.Fatal("undecodable record accepted")
+	}
+}
+
+func TestWorkingSetSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn/a", "", []byte("layer-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	rec := encodeWS(t, []uint64{4096, 12288})
+	if err := s.PutWorkingSet("fn/a", rec); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, ok := re.GetWorkingSetPages("fn/a")
+	if !ok || len(pages) != 2 || pages[0] != 4096 || pages[1] != 12288 {
+		t.Fatalf("after reopen: pages=%v ok=%v", pages, ok)
+	}
+	if re.Stats().WSDropped != 0 {
+		t.Fatalf("healthy sidecar dropped on reopen: %+v", re.Stats())
+	}
+}
+
+// TestWorkingSetOpenGC: a sidecar whose layer is gone, and one whose
+// bytes fail the CRC, are deleted by the Open recovery pass; the
+// healthy one beside them survives.
+func TestWorkingSetOpenGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn/a", "", []byte("layer-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutWorkingSet("fn/a", encodeWS(t, []uint64{4096})); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan record naming content that is not resident.
+	orphan := filepath.Join(dir, fmt.Sprintf("%016x.ws", uint64(0xdeadbeef)))
+	if err := os.WriteFile(orphan, encodeWS(t, []uint64{8192}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A live layer whose sidecar rotted on disk.
+	if err := s.Put("fn/b", "", []byte("other-layer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutWorkingSet("fn/b", encodeWS(t, []uint64{8192})); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := s.Layer("fn/b")
+	rotted := filepath.Join(dir, fmt.Sprintf("%016x.ws", lb.Digest))
+	if err := os.WriteFile(rotted, []byte("rotted-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Stats().WSDropped; got != 2 {
+		t.Errorf("WSDropped = %d, want 2", got)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphan sidecar survived open GC")
+	}
+	if _, err := os.Stat(rotted); !os.IsNotExist(err) {
+		t.Error("corrupt sidecar survived open GC")
+	}
+	if _, ok := re.GetWorkingSetPages("fn/b"); ok {
+		t.Error("corrupt sidecar still served")
+	}
+	if pages, ok := re.GetWorkingSetPages("fn/a"); !ok || len(pages) != 1 {
+		t.Errorf("healthy sidecar lost: pages=%v ok=%v", pages, ok)
+	}
+}
+
+// TestWorkingSetEvictionRemovesSidecar: when the last lineage sharing a
+// layer's content leaves the store, the record leaves with it.
+func TestWorkingSetEvictionRemovesSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn/a", "", bytes.Repeat([]byte{'a'}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutWorkingSet("fn/a", encodeWS(t, []uint64{4096})); err != nil {
+		t.Fatal(err)
+	}
+	la, _ := s.Layer("fn/a")
+	sidecar := filepath.Join(dir, fmt.Sprintf("%016x.ws", la.Digest))
+	if _, err := os.Stat(sidecar); err != nil {
+		t.Fatalf("sidecar not on disk before eviction: %v", err)
+	}
+	// Fill past capacity so fn/a is evicted.
+	if err := s.Put("fn/b", "", bytes.Repeat([]byte{'b'}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn/c", "", bytes.Repeat([]byte{'c'}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("fn/a") {
+		t.Fatal("fn/a not evicted; test premise broken")
+	}
+	if _, err := os.Stat(sidecar); !os.IsNotExist(err) {
+		t.Error("sidecar survived its layer's eviction")
+	}
+	if _, ok := s.GetWorkingSetPages("fn/a"); ok {
+		t.Error("evicted layer still serves a working set")
+	}
+}
+
+// TestWorkingSetFollowsDigest: the fabric faces read and write records
+// by content digest; a record attached under one lineage key is visible
+// under the digest, and a digest-addressed put serves lineage reads.
+func TestWorkingSetFollowsDigest(t *testing.T) {
+	s, err := Open(t.TempDir(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn/a", "", []byte("layer-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	la, _ := s.Layer("fn/a")
+	rec := encodeWS(t, []uint64{4096, 8192})
+	if err := s.PutWorkingSetForDigest(la.Digest, rec); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.WorkingSetForDigest(la.Digest); !ok || !bytes.Equal(got, rec) {
+		t.Fatalf("digest read: ok=%v %d bytes", ok, len(got))
+	}
+	if pages, ok := s.GetWorkingSetPages("fn/a"); !ok || len(pages) != 2 {
+		t.Fatalf("lineage read after digest put: pages=%v ok=%v", pages, ok)
+	}
+	// Unknown digest: both faces refuse.
+	if _, ok := s.WorkingSetForDigest(0x1234); ok {
+		t.Error("record for absent digest")
+	}
+	if err := s.PutWorkingSetForDigest(0x1234, rec); !errors.Is(err, ErrNotFound) {
+		t.Errorf("put for absent digest: %v", err)
+	}
+	// A second lineage linked to the same content shares the record.
+	if err := s.LinkDigest("fn/alias", "", la.Digest); err != nil {
+		t.Fatal(err)
+	}
+	if pages, ok := s.GetWorkingSetPages("fn/alias"); !ok || len(pages) != 2 {
+		t.Errorf("linked lineage does not share the record: pages=%v ok=%v", pages, ok)
+	}
+}
+
+// TestGetBeyondFDCache churns more distinct layers than the descriptor
+// cache holds, so every Get path — cold open, cached hit, post-eviction
+// reopen — serves exact bytes.
+func TestGetBeyondFDCache(t *testing.T) {
+	s, err := Open(t.TempDir(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := maxCachedFDs + 8
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("fn/%d", i), "", []byte(fmt.Sprintf("layer-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			got, err := s.Get(fmt.Sprintf("fn/%d", i))
+			if err != nil {
+				t.Fatalf("pass %d fn/%d: %v", pass, i, err)
+			}
+			if want := fmt.Sprintf("layer-%d", i); string(got) != want {
+				t.Fatalf("pass %d fn/%d: got %q", pass, i, got)
+			}
+		}
+	}
+}
+
+// TestConcurrentWorkingSetAccess races sidecar reads, writes, and layer
+// Gets; run under -race this is the recording path's concurrency proof.
+func TestConcurrentWorkingSetAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn/a", "", []byte("layer-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	rec := encodeWS(t, []uint64{4096, 8192, 12288})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch g % 3 {
+				case 0:
+					if err := s.PutWorkingSet("fn/a", rec); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 1:
+					if pages, ok := s.GetWorkingSetPages("fn/a"); ok && len(pages) != 3 {
+						t.Errorf("pages = %v", pages)
+						return
+					}
+				case 2:
+					if _, err := s.Get("fn/a"); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -57,6 +57,8 @@ const (
 	KindFailover Kind = "failover" // invocation re-picked off an unreachable member
 	KindRepair   Kind = "repair"   // redundancy restored for an orphaned lineage
 	KindRejoin   Kind = "rejoin"   // member rejoined and resynced its manifest
+
+	KindWorkingSet Kind = "workingset" // working-set record/merge/prefetch activity
 )
 
 // Event is one recorded occurrence: an instant (Dur == 0) or a span.

@@ -17,8 +17,6 @@
 package uc
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
@@ -178,24 +176,48 @@ func BootFreshProfile(st *mem.Store, host hypercall.Host, env libos.Env, prof in
 // arrives inside the memory image), so the fast path is also the more
 // faithful one.
 func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, error) {
+	u, _, err := DeployPrefetched(snap, host, env, nil)
+	return u, err
+}
+
+// DeployPrefetched is Deploy with a working-set replay: before the
+// resumed guest executes its first instruction, every page in ws (the
+// lineage's recorded working set, page-base VAs sorted ascending) is
+// bulk-mapped privately writable in one batched page-table walk —
+// turning the serial first-touch fault storm of a lukewarm restore
+// into a single prefetch charged at the batched rate (DESIGN.md §13).
+// Returns the UC and how many pages were prefetched. A nil or empty ws
+// is exactly Deploy.
+func DeployPrefetched(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env, ws []uint64) (*UC, int, error) {
 	env.ChargeCPU(costs.UCDeploy)
 	space, regs, err := snap.Deploy()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	payload, ok := snap.Payload().(Payload)
 	if !ok {
 		space.Release()
 		snap.ReleaseUC()
-		return nil, fmt.Errorf("uc: snapshot %q has no guest payload", snap.Name())
+		return nil, 0, fmt.Errorf("uc: snapshot %q has no guest payload", snap.Name())
+	}
+	prefetched := 0
+	if len(ws) > 0 {
+		// Replay before Resume: the resume-time rewrite of runtime
+		// bookkeeping is the bulk of the storm being skipped. A replay
+		// failure only loses the optimization — the on-demand path
+		// still resolves every page.
+		if n, perr := space.PrefetchWritable(ws); perr == nil {
+			prefetched = n
+			env.ChargeCPU(costs.WSPrefetchBase + time.Duration(n)*costs.WSPrefetchPerPage)
+		}
 	}
 	if kit, _ := snap.TakeDeployKit().(*UC); kit != nil {
 		if err := kit.redeploy(snap, space, regs, payload, host, env); err != nil {
 			space.Release()
 			snap.ReleaseUC()
-			return nil, err
+			return nil, 0, err
 		}
-		return kit, nil
+		return kit, prefetched, nil
 	}
 	inner := hostOrStub(host)
 	u := &UC{
@@ -213,7 +235,7 @@ func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, e
 	if err := u.allocMeta(space.Backing()); err != nil {
 		space.Release()
 		snap.ReleaseUC()
-		return nil, err
+		return nil, 0, err
 	}
 	uk := libos.New(space, u.host, env)
 	uk.Rehydrate(payload.Libos)
@@ -222,7 +244,7 @@ func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, e
 		u.freeMeta(space.Backing())
 		space.Release()
 		snap.ReleaseUC()
-		return nil, err
+		return nil, 0, err
 	}
 	// The resumed guest immediately rewrites its runtime bookkeeping
 	// (stacks, timers, socket rebind) — real post-resume work, charged.
@@ -230,10 +252,10 @@ func Deploy(snap *snapshot.Snapshot, host hypercall.Host, env libos.Env) (*UC, e
 		u.freeMeta(space.Backing())
 		space.Release()
 		snap.ReleaseUC()
-		return nil, err
+		return nil, 0, err
 	}
 	u.guest = rt
-	return u, nil
+	return u, prefetched, nil
 }
 
 // redeploy rebinds a retired deploy kit to a fresh deployment: new
@@ -390,28 +412,6 @@ type wirePayload struct {
 	Addrs     []uint64
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler so the snapshot
-// codec can ship guest metadata alongside the page diff (on real
-// hardware this state lives inside the pages). The encoding is
-// deterministic: identical payloads marshal to identical bytes.
-func (pl Payload) MarshalBinary() ([]byte, error) {
-	w := wirePayload{Libos: pl.Libos, Interp: pl.Interp}
-	w.Libos.Files, w.Libos.FileAddrs = nil, nil
-	for _, path := range sortedKeys(pl.Libos.Files) {
-		w.FilePaths = append(w.FilePaths, path)
-		w.FileSizes = append(w.FileSizes, pl.Libos.Files[path])
-	}
-	for _, path := range sortedKeys(pl.Libos.FileAddrs) {
-		w.AddrPaths = append(w.AddrPaths, path)
-		w.Addrs = append(w.Addrs, pl.Libos.FileAddrs[path])
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
 // sortedKeys returns m's keys in ascending order.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
@@ -420,29 +420,4 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
-}
-
-// DecodePayload reverses Payload.MarshalBinary.
-func DecodePayload(data []byte) (Payload, error) {
-	var w wirePayload
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
-		return Payload{}, err
-	}
-	if len(w.FilePaths) != len(w.FileSizes) || len(w.AddrPaths) != len(w.Addrs) {
-		return Payload{}, fmt.Errorf("uc: payload: mismatched ramdisk tables")
-	}
-	pl := Payload{Libos: w.Libos, Interp: w.Interp}
-	if len(w.FilePaths) > 0 {
-		pl.Libos.Files = make(map[string]int64, len(w.FilePaths))
-		for i, path := range w.FilePaths {
-			pl.Libos.Files[path] = w.FileSizes[i]
-		}
-	}
-	if len(w.AddrPaths) > 0 {
-		pl.Libos.FileAddrs = make(map[string]uint64, len(w.AddrPaths))
-		for i, path := range w.AddrPaths {
-			pl.Libos.FileAddrs[path] = w.Addrs[i]
-		}
-	}
-	return pl, nil
 }

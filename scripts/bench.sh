@@ -16,7 +16,10 @@
 # goalposts). Keeping it in CI is what makes "allocation-free" a
 # property instead of a one-time measurement. The snapshot-tier pair
 # (lukewarm restore vs the cold rebuild it replaces) rides along so a
-# regression cannot silently erase the lukewarm win.
+# regression cannot silently erase the lukewarm win, and the baseline's
+# "ratios" table pins cross-benchmark contracts — the prefetched
+# lukewarm restore must stay within a fixed multiple of the warm
+# deploy, however both drift in absolute ns.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,7 +30,7 @@ trap 'rm -f "$RAW"' EXIT
 
 echo "== running hot-path benchmarks (this takes ~15s)" >&2
 go test -run '^$' -count=1 \
-  -bench 'BenchmarkUCDeployRealTime$|BenchmarkSnapshotCaptureRealTime$|BenchmarkPageFaultRealTime$|BenchmarkLukewarmDeploy$|BenchmarkColdRebuildRealTime$' \
+  -bench 'BenchmarkUCDeployRealTime$|BenchmarkSnapshotCaptureRealTime$|BenchmarkPageFaultRealTime$|BenchmarkLukewarmDeploy$|BenchmarkLukewarmPrefetched$|BenchmarkColdRebuildRealTime$' \
   -benchmem . | tee -a "$RAW" >&2
 go test -run '^$' -count=1 \
   -bench 'BenchmarkShardedThroughput/shards=1$' \
@@ -93,6 +96,23 @@ for name, b in sorted(base.items()):
         verdict = "FAIL allocs"
     print(f"  {name}: {c['ns_per_op']:.0f} ns/op (base {b['ns_per_op']:.0f}), "
           f"{c['allocs_per_op']} allocs/op (base {b['allocs_per_op']}) [{verdict}]")
+
+# Cross-benchmark ratio contracts: each entry pins one benchmark to a
+# maximum multiple of another, so the relationship survives machine
+# drift that moves both absolute numbers together.
+for name, spec in sorted(doc.get("ratios", {}).items()):
+    c, ref = current.get(name), current.get(spec["vs"])
+    if c is None or ref is None:
+        failures.append(f"ratio {name}: benchmark missing from current run")
+        continue
+    ratio = c["ns_per_op"] / ref["ns_per_op"]
+    verdict = "ok" if ratio <= spec["max_ratio"] else "FAIL ratio"
+    if verdict != "ok":
+        failures.append(
+            f"{name}: {ratio:.2f}x {spec['vs']} exceeds the "
+            f"{spec['max_ratio']}x contract")
+    print(f"  {name} / {spec['vs']}: {ratio:.2f}x "
+          f"(max {spec['max_ratio']}x) [{verdict}]")
 
 if failures:
     print("\nbench gate FAILED:")

@@ -171,5 +171,14 @@ require '^seuss_fabric_repairs_total{outcome="promoted"} 0$'
 require '^seuss_fabric_repairs_total{outcome="refetched"} 0$'
 require '^seuss_fabric_repairs_total{outcome="cold"} 0$'
 require '^seuss_fabric_repairs_total{outcome="failed"} 0$'
+# Working-set record/replay families (DESIGN.md §13) — the lint boots
+# without -snapdir, so no lukewarm restore ever runs and the counters
+# stay zero; the requirement is that the families render.
+require '^seuss_ws_records_total{outcome="recorded"} 0$'
+require '^seuss_ws_records_total{outcome="merged"} 0$'
+require '^seuss_ws_records_total{outcome="corrupt"} 0$'
+require '^seuss_ws_prefetched_pages_total 0$'
+require '^seuss_ws_coverage_pages_total{result="hit"} 0$'
+require '^seuss_ws_coverage_pages_total{result="miss"} 0$'
 
 echo "OK: /metrics exposition is well-formed" >&2

@@ -116,4 +116,44 @@ case "$STATS" in
     ;;
 esac
 
+echo "== SIGTERM again: drain before the working-set boots" >&2
+kill -TERM "$NODE_PID"
+wait "$NODE_PID" 2>/dev/null || true
+NODE_PID=""
+
+echo "== third boot with -no-prewarm: lukewarm restore records the working set" >&2
+"$TMP/seuss-node" -addr "$ADDR" -shards 2 -snapdir "$SNAPDIR" -no-prewarm >"$TMP/node3.log" 2>&1 &
+NODE_PID=$!
+wait_healthy "$TMP/node3.log"
+PATH3="$(curl -sf -X POST "http://$ADDR/invoke" -d "$BODY" | sed -n 's/.*"path":"\([a-z]*\)".*/\1/p')"
+if [ "$PATH3" != "lukewarm" ]; then
+  echo "FAIL: first no-prewarm invocation path is '$PATH3', want lukewarm" >&2
+  cat "$TMP/node3.log" >&2
+  exit 1
+fi
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+require '^seuss_ws_records_total{outcome="recorded"} [1-9]'
+if ! ls "$SNAPDIR"/*.ws >/dev/null 2>&1; then
+  echo "FAIL: lukewarm restore left no working-set sidecar in the tier:" >&2
+  ls -la "$SNAPDIR" >&2 || true
+  exit 1
+fi
+kill -TERM "$NODE_PID"
+wait "$NODE_PID" 2>/dev/null || true
+NODE_PID=""
+
+echo "== fourth boot with -no-prewarm: the record survives restart and prefetches" >&2
+"$TMP/seuss-node" -addr "$ADDR" -shards 2 -snapdir "$SNAPDIR" -no-prewarm >"$TMP/node4.log" 2>&1 &
+NODE_PID=$!
+wait_healthy "$TMP/node4.log"
+PATH4="$(curl -sf -X POST "http://$ADDR/invoke" -d "$BODY" | sed -n 's/.*"path":"\([a-z]*\)".*/\1/p')"
+if [ "$PATH4" != "lukewarm" ]; then
+  echo "FAIL: first post-restart invocation path is '$PATH4', want lukewarm" >&2
+  cat "$TMP/node4.log" >&2
+  exit 1
+fi
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+require '^seuss_ws_prefetched_pages_total [1-9]'
+require '^seuss_ws_coverage_pages_total{result="hit"} [1-9]'
+
 echo "OK: restart recovered warm starts from the snapshot tier" >&2

@@ -200,9 +200,36 @@ type NodeStats struct {
 	SnapshotsDemoted   int64
 	SnapshotsPromoted  int64
 	SnapshotsPrewarmed int64
+	// WorkingSet is the lukewarm record/replay ledger: sidecar records
+	// written, drift-merged, and dropped corrupt, plus pages
+	// bulk-prefetched and how well records covered real invocations.
+	WorkingSet WorkingSetStats
 	// Robustness is the failure-containment ledger: crashes contained,
 	// deadlines enforced, pressure degradations taken.
 	Robustness metrics.Robustness
+}
+
+// WorkingSetStats reports working-set record/replay activity on the
+// lukewarm path.
+type WorkingSetStats struct {
+	Recorded        int64 // records persisted on first restore
+	Merged          int64 // records union-merged after coverage drift
+	Corrupt         int64 // records dropped for failing decode
+	PrefetchedPages int64 // pages bulk-mapped before resume
+	CoverageHits    int64 // touched pages a record covered
+	CoverageMisses  int64 // touched pages a record missed
+}
+
+// workingSetOf maps a core node's counters onto the working-set ledger.
+func workingSetOf(st core.Stats) WorkingSetStats {
+	return WorkingSetStats{
+		Recorded:        st.WSRecorded,
+		Merged:          st.WSMerged,
+		Corrupt:         st.WSCorrupt,
+		PrefetchedPages: st.WSPrefetchedPages,
+		CoverageHits:    st.WSCoverageHits,
+		CoverageMisses:  st.WSCoverageMisses,
+	}
 }
 
 // robustnessOf maps a core node's counters onto the metrics ledger.
@@ -236,6 +263,7 @@ func (n *Node) Stats() NodeStats {
 		SnapshotsDemoted:   st.SnapshotsDemoted,
 		SnapshotsPromoted:  st.SnapshotsPromoted,
 		SnapshotsPrewarmed: st.SnapshotsPrewarmed,
+		WorkingSet:         workingSetOf(st),
 		Robustness:         robustnessOf(st),
 	}
 }
@@ -405,6 +433,7 @@ func (p *NodePool) Stats() (PoolStats, error) {
 			SnapshotsDemoted:   st.Node.SnapshotsDemoted,
 			SnapshotsPromoted:  st.Node.SnapshotsPromoted,
 			SnapshotsPrewarmed: st.Node.SnapshotsPrewarmed,
+			WorkingSet:         workingSetOf(st.Node),
 			Robustness:         rob,
 		},
 		Stolen:   st.Stolen,
