@@ -430,6 +430,11 @@ func main() {
 	cfg.Node.DisableAO = *noAO
 	cfg.Node.InvokeDeadline = *deadline
 	cfg.Node.Tracer = seuss.NewTrace(100000)
+	// A live daemon seeds deploy-time entropy from the OS boot
+	// generation: clones deployed from one snapshot diverge across
+	// restarts too, not just within one process (DESIGN.md §14). The
+	// source is shared by every shard, hence the concurrency-safe form.
+	cfg.Node.Entropy = seuss.NewEntropySource()
 	if *snapDir != "" {
 		store, err := seuss.OpenSnapshotStore(*snapDir, *snapDiskCap)
 		if err != nil {

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"seuss/internal/costs"
+	"seuss/internal/entropy"
 	"seuss/internal/fault"
 	"seuss/internal/hypercall"
 	"seuss/internal/interp"
@@ -108,6 +109,15 @@ type Config struct {
 	OOMThreshold float64
 	// Seed drives the node's deterministic RNG.
 	Seed int64
+	// Entropy, when non-nil, supplies the host entropy drawn at every UC
+	// deploy (restore-time uniqueness, DESIGN.md §14). The shards of a
+	// pool share one function, each calling it from its own goroutine, so
+	// it must be safe for concurrent use — entropy.NewSharedSource is the
+	// standard choice. nil derives a deterministic per-node stream from
+	// Seed, keeping tests and the simulation replayable by default;
+	// divergence between clones is guaranteed either way by the deploy
+	// generation mixed into each draw.
+	Entropy func() uint64
 	// HTTPHandler services outbound guest requests: it returns the
 	// response body and how long the remote end blocks. nil fails
 	// guest http.get calls.
@@ -304,6 +314,11 @@ type Node struct {
 	idleCount    int
 	nextCore     int
 
+	// entropySrc backs deploy-time entropy draws when cfg.Entropy is
+	// nil. Plain (non-atomic) state is fine under the node ownership
+	// contract: one goroutine owns all node methods.
+	entropySrc *entropy.Source
+
 	stats Stats
 }
 
@@ -319,7 +334,18 @@ func newNodeShell(eng *sim.Engine, cfg Config, store *mem.Store) *Node {
 		fnSnaps:      make(map[string]*fnEntry),
 		idle:         make(map[string][]*idleUC),
 		runtimeSnaps: make(map[string]*snapshot.Snapshot, len(cfg.Runtimes)),
+		entropySrc:   entropy.NewSource(uint64(cfg.Seed)),
 	}
+}
+
+// drawEntropy returns the next host entropy value for a UC deploy:
+// the caller-supplied source when configured, else the node's
+// deterministic per-seed stream.
+func (n *Node) drawEntropy() uint64 {
+	if n.cfg.Entropy != nil {
+		return n.cfg.Entropy()
+	}
+	return n.entropySrc.Next()
 }
 
 // BootRuntime performs system initialization for one interpreter
@@ -338,7 +364,17 @@ func BootRuntime(store *mem.Store, cfg Config, name string) (*snapshot.Snapshot,
 		return nil, fmt.Errorf("core: system init: %w", err)
 	}
 	initEnv := &libos.CountingEnv{}
-	boot, err := uc.BootFreshProfile(store, nil, initEnv, prof)
+	// The boot UC draws its RNG seed from host entropy like every other
+	// deploy path — never the compile-time constant it used to share
+	// with every node ever booted. Deterministic from Seed unless the
+	// caller supplies a live source.
+	stub := hypercall.NewStubHost()
+	stub.EntropyState = entropy.Splitmix64(uint64(cfg.Seed) ^ 0xB007)
+	var host hypercall.Host = stub
+	if cfg.Entropy != nil {
+		host = entropyHost{Host: stub, draw: cfg.Entropy}
+	}
+	boot, err := uc.BootFreshProfile(store, host, initEnv, prof)
 	if err != nil {
 		return nil, fmt.Errorf("core: system init (%s): %w", name, err)
 	}
@@ -359,6 +395,17 @@ func BootRuntime(store *mem.Store, cfg Config, name string) (*snapshot.Snapshot,
 	return snap, nil
 }
 
+// entropyHost overrides just the Entropy draw of an inner hypercall
+// host with a caller-supplied source (BootRuntime runs before any node
+// exists to route through).
+type entropyHost struct {
+	hypercall.Host
+	draw func() uint64
+}
+
+// Entropy implements hypercall.Host.
+func (h entropyHost) Entropy() uint64 { return h.draw() }
+
 // NewNode builds a node and performs system initialization: boot the
 // unikernel into the interpreter, run the invocation driver, apply the
 // configured AOs, and capture the base runtime snapshot.
@@ -370,6 +417,7 @@ func NewNode(eng *sim.Engine, cfg Config) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.Metrics.Inc(metrics.CtrReseedsBoot)
 		n.runtimeSnaps[name] = snap
 		if n.runtimeSnap == nil {
 			n.runtimeSnap = snap
@@ -556,8 +604,12 @@ type Result struct {
 }
 
 // invokeSeq issues request IDs. Process-global (like uc.nextID) so IDs
-// stay unique across the shards of a pool, which each own a node.
+// stay unique across the shards of a pool, which each own a node. It
+// starts at the boot-generation base, not zero, so request IDs also
+// stay unique across process restarts sharing a snapshot directory.
 var invokeSeq atomic.Uint64
+
+func init() { invokeSeq.Store(entropy.IDBase()) }
 
 // Per-path metric indices, so finish records without branching.
 var (
@@ -572,6 +624,12 @@ var (
 		PathWarm:     metrics.HistWarmLatency,
 		PathHot:      metrics.HistHotLatency,
 		PathLukewarm: metrics.HistLukewarmLatency,
+	}
+	reseedCounters = [...]metrics.Counter{
+		PathCold:     metrics.CtrReseedsCold,
+		PathWarm:     metrics.CtrReseedsWarm,
+		PathHot:      metrics.CtrReseedsWarm, // hot never deploys; DeployIdle counts as warm
+		PathLukewarm: metrics.CtrReseedsLukewarm,
 	}
 )
 
@@ -591,7 +649,7 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 	if mu := n.takeIdle(req.Key); mu != nil {
 		n.cfg.Metrics.Inc(metrics.CtrIdleUCHits)
 		out, err := n.runOn(p, mu, req)
-		return n.finish(start, id, req.Key, PathHot, out, err)
+		return n.finish(start, id, req.Key, PathHot, 0, out, err)
 	}
 
 	// Warm path: deploy from the function snapshot. On a miss, consult
@@ -618,7 +676,7 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 		if path == PathLukewarm {
 			ws = entry.ws
 		}
-		mu, prefetched, err := n.deploy(p, entry.snap, ws)
+		mu, prefetched, err := n.deploy(p, entry.snap, ws, path)
 		if err == nil {
 			if prefetched > 0 {
 				n.stats.WSPrefetchedPages += int64(prefetched)
@@ -633,11 +691,12 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 				n.invokeError()
 				return Result{}, cerr
 			}
+			gen := mu.u.Guest().Unikernel().DeployGeneration()
 			out, rerr := n.runOn(p, mu, req)
 			if path == PathLukewarm && rerr == nil {
 				n.harvestWorkingSet(mu, req.Key, entry, id)
 			}
-			return n.finish(start, id, req.Key, path, out, rerr)
+			return n.finish(start, id, req.Key, path, gen, out, rerr)
 		}
 		if !errors.Is(err, ErrNodeSaturated) || req.Source == "" {
 			n.invokeError()
@@ -663,7 +722,7 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 		n.invokeError()
 		return Result{}, err
 	}
-	mu, _, err := n.deploy(p, base, nil)
+	mu, _, err := n.deploy(p, base, nil, PathCold)
 	if err != nil {
 		n.invokeError()
 		return Result{}, err
@@ -679,17 +738,18 @@ func (n *Node) Invoke(p *sim.Proc, req Request) (Result, error) {
 		return Result{}, fmt.Errorf("core: import %q: %w", req.Key, err)
 	}
 	n.captureFnSnapshot(p, mu.u, req.Key)
+	gen := mu.u.Guest().Unikernel().DeployGeneration()
 	out, err := n.runOn(p, mu, req)
-	return n.finish(start, id, req.Key, PathCold, out, err)
+	return n.finish(start, id, req.Key, PathCold, gen, out, err)
 }
 
-func (n *Node) finish(start sim.Time, id uint64, key string, path Path, out string, err error) (Result, error) {
+func (n *Node) finish(start sim.Time, id uint64, key string, path Path, gen uint64, out string, err error) (Result, error) {
 	if err != nil {
 		n.invokeError()
 		n.cfg.Tracer.Record(trace.Event{
 			At: time.Duration(start), Dur: time.Duration(n.eng.Now() - start),
 			Kind: trace.KindInvoke, ID: id, Key: key, Path: path.String(),
-			Detail: "error: " + err.Error(),
+			Detail: "error: " + err.Error(), Reseed: gen,
 		})
 		return Result{}, err
 	}
@@ -697,6 +757,7 @@ func (n *Node) finish(start sim.Time, id uint64, key string, path Path, out stri
 	n.cfg.Tracer.Record(trace.Event{
 		At: time.Duration(start), Dur: latency,
 		Kind: trace.KindInvoke, ID: id, Key: key, Path: path.String(),
+		Reseed: gen,
 	})
 	n.cfg.Metrics.Inc(pathCounters[path])
 	n.cfg.Metrics.Observe(pathHists[path], latency)
@@ -727,7 +788,7 @@ func (n *Node) finish(start sim.Time, id uint64, key string, path Path, out stri
 // starts are lost, nothing else). Only when both levels are exhausted
 // does it report saturation (level 3, the cold fallback, belongs to
 // Invoke, which knows the request).
-func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot, ws []uint64) (*managedUC, int, error) {
+func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot, ws []uint64, path Path) (*managedUC, int, error) {
 	e := &env{n: n, p: p}
 	host := &ucNetHost{Host: hypercall.NewStubHost(), n: n, port: new(int)}
 	u, prefetched, err := uc.DeployPrefetched(snap, host, e, ws)
@@ -753,6 +814,26 @@ func (n *Node) deploy(p *sim.Proc, snap *snapshot.Snapshot, ws []uint64) (*manag
 		n.cfg.Metrics.Inc(metrics.CtrDeployKitHits)
 	} else {
 		n.cfg.Metrics.Inc(metrics.CtrDeployKitMisses)
+	}
+	// Restore-time uniqueness (DESIGN.md §14): the deploy drew fresh
+	// entropy and a new generation into the clone's RNG seed. The
+	// entropy-stale fault point undoes the re-draw — reproducing the
+	// duplicated-stream bug — so the divergence tests can prove they
+	// would catch a regression.
+	if n.cfg.Faults.Fire(fault.PointEntropyStale) {
+		u.Guest().RewindToStaleSeed()
+		n.stats.FaultsInjected = faultsInjected(n.cfg.Faults)
+		n.cfg.Metrics.Inc(metrics.CtrFaultsInjected)
+		n.cfg.Tracer.Record(trace.Event{
+			At: time.Duration(n.eng.Now()), Kind: trace.KindFault, Key: snap.Name(),
+			Detail: "entropy-stale: deploy kept the snapshot's RNG seed",
+		})
+	} else {
+		ctr := reseedCounters[path]
+		if u.Recycled() {
+			ctr = metrics.CtrReseedsKit
+		}
+		n.cfg.Metrics.Inc(ctr)
 	}
 	mu := &managedUC{u: u, e: e, core: n.nextCore % n.cfg.Cores}
 	n.nextCore++
@@ -790,6 +871,11 @@ func (h *ucNetHost) NetRead() ([]byte, bool) {
 	}
 	return h.Host.NetRead()
 }
+
+// Entropy implements hypercall.Host: deploy-time draws come from the
+// node's entropy source, not the per-UC stub — every stub starts at
+// the same state, but clones of one snapshot must not.
+func (h *ucNetHost) Entropy() uint64 { return h.n.drawEntropy() }
 
 // destroyUC tears a managed UC down, removing its proxy mappings.
 func (n *Node) destroyUC(mu *managedUC) {
@@ -1339,11 +1425,17 @@ func (n *Node) FlushSnapshots(p *sim.Proc) int {
 // unit of work.
 func (n *Node) DeployIdle(p *sim.Proc) (*uc.UC, error) {
 	e := &env{n: n, p: p}
-	u, err := uc.Deploy(n.runtimeSnap, nil, e)
+	host := &ucNetHost{Host: hypercall.NewStubHost(), n: n, port: new(int)}
+	u, err := uc.Deploy(n.runtimeSnap, host, e)
 	if err != nil {
 		return nil, err
 	}
 	n.stats.UCsDeployed++
 	n.cfg.Metrics.Inc(metrics.CtrUCsDeployed)
+	ctr := metrics.CtrReseedsWarm
+	if u.Recycled() {
+		ctr = metrics.CtrReseedsKit
+	}
+	n.cfg.Metrics.Inc(ctr)
 	return u, nil
 }

@@ -373,7 +373,7 @@ func TestUCsSpreadAcrossCores(t *testing.T) {
 	cores := map[int]bool{}
 	eng.Go("d", func(p *sim.Proc) {
 		for i := 0; i < 8; i++ {
-			mu, _, err := n.deploy(p, n.runtimeSnap, nil)
+			mu, _, err := n.deploy(p, n.runtimeSnap, nil, PathWarm)
 			if err != nil {
 				t.Error(err)
 				return

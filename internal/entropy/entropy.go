@@ -1,0 +1,103 @@
+// Package entropy is the host-side randomness kit behind restore-time
+// uniqueness (DESIGN.md §14): splitmix64 stepping and seed mixing for
+// the Entropy hypercall, deterministic per-node sources for tests and
+// simulation, and the process boot generation that keeps UC and
+// request identifiers unique across binary restarts.
+//
+// Everything here is pure arithmetic — no syscalls, no allocation —
+// because the deploy hot path draws entropy on every UC deploy and
+// must stay at 0 allocs/op.
+package entropy
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+)
+
+// Golden is the 64-bit golden-ratio increment used by splitmix64 and
+// the generation mixer.
+const Golden = 0x9E3779B97F4A7C15
+
+// Splitmix64 is the standard 64-bit finalizer: a bijection on uint64,
+// so distinct inputs always produce distinct outputs.
+func Splitmix64(x uint64) uint64 {
+	x += Golden
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// MixSeed folds a host entropy draw and a deploy generation into one
+// guest RNG seed. The generation term is a bijection (gen*Golden is
+// invertible mod 2^64, and Splitmix64 is a bijection), so two deploys
+// with distinct generations get distinct seeds even if the host hands
+// them the identical entropy draw — divergence does not depend on the
+// quality of the entropy source.
+func MixSeed(draw, gen uint64) uint64 {
+	s := Splitmix64(draw ^ gen*Golden)
+	if s == 0 {
+		// xorshift64* has a zero fixed point; dodge it.
+		s = Golden
+	}
+	return s
+}
+
+// Source is a deterministic splitmix64 stream: the default node
+// entropy source, seeded from the node's Config.Seed so tests and the
+// simulation replay identically. NOT safe for concurrent use — it
+// follows the core.Node ownership contract (one owning goroutine).
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a stream seeded from seed.
+func NewSource(seed uint64) *Source {
+	return &Source{state: Splitmix64(seed ^ 0xE47)}
+}
+
+// Next returns the stream's next draw.
+func (s *Source) Next() uint64 {
+	s.state += Golden
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// NewSharedSource returns a concurrency-safe draw function seeded from
+// seed — the form a caller hands to many shards at once (every shard's
+// node may call it from its own goroutine).
+func NewSharedSource(seed uint64) func() uint64 {
+	var ctr atomic.Uint64
+	base := Splitmix64(seed ^ 0x5A17)
+	return func() uint64 {
+		return Splitmix64(base ^ ctr.Add(1)*Golden)
+	}
+}
+
+// bootGen is drawn once per process from the OS CSPRNG. It is what
+// makes identifiers minted by this process distinct from those minted
+// by the process that ran here before a restart — both start their
+// in-memory sequences at zero, so the sequence alone cannot be unique.
+var bootGen = func() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	// CSPRNG failure is effectively impossible; a clock fallback still
+	// separates restarts.
+	return Splitmix64(uint64(time.Now().UnixNano()))
+}()
+
+// BootGeneration returns the process's boot generation: a random
+// 64-bit value fixed for the life of the process.
+func BootGeneration() uint64 { return bootGen }
+
+// IDBase returns the boot generation folded into the high 24 bits of
+// an identifier space, leaving 2^40 sequence numbers per boot. UC ids
+// and request ids start their atomic sequences here, so ids minted
+// after a binary restart never collide with ids from the previous
+// boot whose lineages survived on the disk tier.
+func IDBase() uint64 { return (bootGen & 0xFFFFFF) << 40 }

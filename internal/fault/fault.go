@@ -76,6 +76,12 @@ const (
 	// dropped, and the restore degrades to on-demand faulting — the
 	// invocation still succeeds.
 	PointWSCorrupt Point = "ws-corrupt"
+	// PointEntropyStale skips the restore-time uniqueness re-draw (core
+	// deploy): the deployed clone keeps the snapshot's captured RNG seed,
+	// reproducing the duplicated-stream bug the re-draw exists to
+	// prevent. The divergence tests fire it to prove they would catch a
+	// regression.
+	PointEntropyStale Point = "entropy-stale"
 )
 
 var (
@@ -91,6 +97,7 @@ var (
 		PointMemberRestart:   "crashed member rejoins; manifest resync and disk-tier prewarm",
 		PointMemberPartition: "member unreachable but running; suspected, then declared dead until healed",
 		PointWSCorrupt:       "working-set sidecar corrupts on read; restore degrades to on-demand faulting",
+		PointEntropyStale:    "deploy skips the uniqueness re-draw; the clone keeps the snapshot's stale RNG seed",
 	}
 )
 

@@ -8,14 +8,22 @@
 // paper, and it is the only channel through which guest software touches
 // the host, so charging each crossing a fixed cost keeps the time model
 // honest.
+//
+// The table carries one extension beyond Solo5's 12: Entropy, the
+// host-provided randomness draw behind restore-time uniqueness
+// (DESIGN.md §14). Clones deployed from one snapshot resume with
+// byte-identical guest state, so any in-guest RNG would replay the same
+// stream in every sibling; fresh host entropy at deploy is the only fix
+// that does not widen the interface further.
 package hypercall
 
 import "time"
 
-// Number identifies one of the twelve hypercalls.
+// Number identifies one of the thirteen hypercalls.
 type Number int
 
-// The hypercall table, mirroring Solo5's ukvm interface.
+// The hypercall table, mirroring Solo5's ukvm interface plus the
+// Entropy extension.
 const (
 	NumWallTime Number = iota
 	NumPuts
@@ -29,9 +37,11 @@ const (
 	NumMemInfo
 	NumSetTLS
 	NumHalt
+	NumEntropy
 
 	// NumCalls is the size of the hypercall table. The narrowness of
-	// this interface — 12 entries — is asserted by tests.
+	// this interface — 13 entries: Solo5's 12 plus Entropy — is
+	// asserted by tests; growing it is a deliberate act.
 	NumCalls
 )
 
@@ -40,6 +50,7 @@ var names = [...]string{
 	"blkinfo", "blkread", "blkwrite",
 	"netinfo", "netread", "netwrite",
 	"meminfo", "settls", "halt",
+	"entropy",
 }
 
 // String returns the hypercall's name.
@@ -97,6 +108,12 @@ type Host interface {
 	SetTLS(base uint64)
 	// Halt terminates the guest with an exit status.
 	Halt(status int)
+	// Entropy returns a fresh host randomness draw. The guest calls it
+	// once per deploy to reseed its RNG, so clones restored from one
+	// snapshot diverge instead of replaying a shared stream. Hosts must
+	// keep this a pure arithmetic step (no syscall, no allocation): it
+	// sits on the allocation-free deploy path.
+	Entropy() uint64
 }
 
 // CPUSink receives the CPU-time cost of each domain crossing. Any
@@ -199,5 +216,8 @@ func (c *Counter) SetTLS(base uint64) { c.cross(NumSetTLS); c.inner.SetTLS(base)
 
 // Halt implements Host.
 func (c *Counter) Halt(status int) { c.cross(NumHalt); c.inner.Halt(status) }
+
+// Entropy implements Host.
+func (c *Counter) Entropy() uint64 { c.cross(NumEntropy); return c.inner.Entropy() }
 
 var _ Host = (*Counter)(nil)

@@ -20,6 +20,11 @@ type StubHost struct {
 	TLSBase uint64
 	// Halted records the exit status passed to Halt, or -1.
 	Halted int
+	// EntropyState is the splitmix64 state behind Entropy. Zero by
+	// default, so a fresh stub draws a deterministic stream — tests and
+	// the simulation stay replayable; hosts wanting distinct streams
+	// seed it before handing the stub to a guest.
+	EntropyState uint64
 
 	frames [][]byte
 }
@@ -97,5 +102,18 @@ func (h *StubHost) SetTLS(base uint64) { h.TLSBase = base }
 
 // Halt implements Host.
 func (h *StubHost) Halt(status int) { h.Halted = status }
+
+// Entropy implements Host: a splitmix64 step over EntropyState. Pure
+// arithmetic — the stub backs the allocation-free deploy benchmarks,
+// so the draw must not allocate or syscall. The state persists across
+// deploy-kit recycling (the stub outlives UC incarnations), so every
+// redeploy draws a fresh value.
+func (h *StubHost) Entropy() uint64 {
+	h.EntropyState += 0x9E3779B97F4A7C15
+	x := h.EntropyState
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
 
 var _ Host = (*StubHost)(nil)

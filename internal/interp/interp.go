@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"seuss/internal/costs"
+	"seuss/internal/entropy"
 	"seuss/internal/lang"
 	"seuss/internal/libos"
 )
@@ -106,10 +107,13 @@ type Runtime struct {
 	// state RestoreFromState replayed — no driver or user code has run
 	// since — so the whole guest stack can be recycled as a deploy kit.
 	pristine bool
-	// replaySeed is rngSeed as RestoreFromState left it, restored on
-	// kit recycling so a recycled deploy draws the same random sequence
-	// a fresh rehydration would.
-	replaySeed uint64
+	// staleSeed is rngSeed as RestoreFromState left it: the byte-exact
+	// restore baseline every clone of the snapshot shares. Kit recycling
+	// rewinds to it so a recycled deploy starts from the same state a
+	// fresh rehydration would — and then the deploying host MUST call
+	// Reseed, on every path, or siblings replay one RNG stream (the
+	// snapshot-uniqueness bug of arXiv 2102.12892).
+	staleSeed uint64
 }
 
 // NewRuntime wires a fresh Node.js-profile interpreter to a booted
@@ -120,9 +124,12 @@ func NewRuntime(uk *libos.Unikernel) *Runtime {
 	return NewRuntimeWithProfile(uk, NodeJS)
 }
 
-// NewRuntimeWithProfile wires a specific interpreter flavor.
+// NewRuntimeWithProfile wires a specific interpreter flavor. The RNG
+// starts on a placeholder seed; every boot and deploy path follows up
+// with Reseed (host entropy + deploy generation), so no two runtimes
+// serve traffic on this constant.
 func NewRuntimeWithProfile(uk *libos.Unikernel, prof Profile) *Runtime {
-	r := &Runtime{uk: uk, prof: prof, rngSeed: 0x9E3779B97F4A7C15}
+	r := &Runtime{uk: uk, prof: prof, rngSeed: entropy.Golden}
 	r.st.Runtime = prof.Name
 	r.in = lang.New(r.hooks())
 	return r
@@ -182,6 +189,28 @@ func (r *Runtime) hooks() lang.Hooks {
 			r.rngSeed ^= r.rngSeed >> 27
 			return float64(r.rngSeed*0x2545F4914F6CDD1D>>11) / float64(uint64(1)<<53)
 		},
+	}
+}
+
+// Reseed re-derives the guest RNG seed from a host entropy draw and
+// the deploy generation — the restore-time uniqueness step (DESIGN.md
+// §14), called by the deploying host on every path: cold boot, warm
+// deploy, lukewarm promote, recycled kit. The generation term alone
+// guarantees sibling clones diverge (entropy.MixSeed is a bijection in
+// gen), while a pinned (draw, gen) pair replays the identical stream —
+// per-clone determinism for the fault matrix. Reseeding is host work,
+// not guest activity, so it does not spoil pristineness.
+func (r *Runtime) Reseed(draw, gen uint64) {
+	r.rngSeed = entropy.MixSeed(draw, gen)
+}
+
+// RewindToStaleSeed undoes the deploy's reseed, returning the RNG to
+// the shared restore baseline — the `entropy-stale` fault point's
+// payload, which makes every clone replay one stream exactly as an
+// unfixed snapshot restore would. No-op before the first restore.
+func (r *Runtime) RewindToStaleSeed() {
+	if r.staleSeed != 0 {
+		r.rngSeed = r.staleSeed
 	}
 }
 
@@ -457,7 +486,7 @@ func RestoreFromState(uk *libos.Unikernel, st State, diffPages int) (*Runtime, e
 		}
 	}
 	r.pristine = true
-	r.replaySeed = r.rngSeed
+	r.staleSeed = r.rngSeed
 	return r, nil
 }
 
@@ -473,7 +502,9 @@ func (r *Runtime) Pristine() bool { return r.pristine }
 // the snapshot it was rehydrated from, restoring every field
 // RestoreFromState would have set — without the replay, because
 // pristine means the interpreter environment already matches. The
-// unikernel must already be reattached and rehydrated.
+// unikernel must already be reattached and rehydrated. The RNG rewinds
+// to the shared restore baseline; the deploy path reseeds it next, the
+// same contract every other restore shape follows.
 func (r *Runtime) ResetForRedeploy(st State, diffPages int) {
 	r.st = st
 	if r.st.Runtime == "" {
@@ -484,6 +515,6 @@ func (r *Runtime) ResetForRedeploy(st State, diffPages int) {
 	r.silent = false
 	r.allocs = 0
 	r.hookErr = nil
-	r.rngSeed = r.replaySeed
+	r.rngSeed = r.staleSeed
 	r.in.LimitSteps(0)
 }

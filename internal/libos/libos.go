@@ -87,6 +87,13 @@ type Unikernel struct {
 	st   State
 
 	lastFaults int // fault count already charged to virtual time
+
+	// deployGen is the host-injected deploy generation (restore-time
+	// uniqueness, DESIGN.md §14). Deliberately NOT part of State: a
+	// snapshot must never capture it, or every clone would restore the
+	// same value and the uniqueness guarantee would die in the image.
+	// The deploying host sets it after every restore.
+	deployGen uint64
 }
 
 // New wraps an address space and host interface into an unbooted
@@ -168,6 +175,21 @@ func (u *Unikernel) Reattach(as *pagetable.AddressSpace, host hypercall.Host, en
 	u.env = env
 	u.lastFaults = 0
 }
+
+// SetDeployGeneration records the host-issued generation of the deploy
+// that produced this incarnation. Called by the deploying host on every
+// path — cold boot, warm deploy, lukewarm promote, recycled kit —
+// never restored from a snapshot payload.
+func (u *Unikernel) SetDeployGeneration(gen uint64) { u.deployGen = gen }
+
+// DeployGeneration returns the generation of the deploy that produced
+// this incarnation (0 only before the first deploy completes).
+func (u *Unikernel) DeployGeneration() uint64 { return u.deployGen }
+
+// DrawEntropy pulls one fresh randomness draw from the host — a single
+// hypercall crossing. The guest runtime mixes it with the deploy
+// generation to reseed its RNG at restore time.
+func (u *Unikernel) DrawEntropy() uint64 { return u.host.Entropy() }
 
 // syncFaultBase resets fault charging so pre-existing faults (e.g. from
 // rehydration-time bookkeeping) are not billed.

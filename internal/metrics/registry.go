@@ -99,6 +99,12 @@ const (
 	CtrWSPrefetchedPages
 	CtrWSCoverageHits
 	CtrWSCoverageMisses
+	// Restore-time uniqueness: entropy reseeds drawn at deploy, by path.
+	CtrReseedsBoot
+	CtrReseedsCold
+	CtrReseedsWarm
+	CtrReseedsLukewarm
+	CtrReseedsKit
 
 	numCounters
 )
@@ -189,6 +195,12 @@ var counterDescs = [numCounters]desc{
 	CtrWSPrefetchedPages: {"seuss_ws_prefetched_pages_total", "Pages bulk-mapped from working-set records before lukewarm resume.", ""},
 	CtrWSCoverageHits:    {"seuss_ws_coverage_pages_total", "Pages a lukewarm invocation touched, split by working-set coverage.", `result="hit"`},
 	CtrWSCoverageMisses:  {"seuss_ws_coverage_pages_total", "", `result="miss"`},
+
+	CtrReseedsBoot:     {"seuss_uc_reseeds_total", "Entropy reseeds drawn at UC deploy, by path.", `path="boot"`},
+	CtrReseedsCold:     {"seuss_uc_reseeds_total", "", `path="cold"`},
+	CtrReseedsWarm:     {"seuss_uc_reseeds_total", "", `path="warm"`},
+	CtrReseedsLukewarm: {"seuss_uc_reseeds_total", "", `path="lukewarm"`},
+	CtrReseedsKit:      {"seuss_uc_reseeds_total", "", `path="kit"`},
 }
 
 var histDescs = [numHists]desc{

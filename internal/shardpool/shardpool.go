@@ -437,6 +437,10 @@ func New(cfg Config) (*Pool, error) {
 		quit:     make(chan struct{}),
 		rec:      metrics.NewRecorder(),
 	}
+	// The template boots drew their RNG seeds from host entropy like any
+	// deploy path; account them at pool level — the template ran before
+	// any shard recorder existed.
+	p.rec.AddCounter(metrics.CtrReseedsBoot, int64(len(runtimes)))
 	perShardMem := cfg.Node.MemoryBytes
 	if perShardMem > 0 {
 		perShardMem /= int64(cfg.Shards)

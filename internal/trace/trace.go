@@ -78,6 +78,9 @@ type Event struct {
 	Path string `json:"path,omitempty"`
 	// Detail carries free-form context ("3 idle UCs reclaimed").
 	Detail string `json:"detail,omitempty"`
+	// Reseed is the deploy generation the serving UC's RNG seed was
+	// mixed with (invoke spans; 0 when the span deployed nothing new).
+	Reseed uint64 `json:"reseed,omitempty"`
 }
 
 // shared is the state one tracer tree holds in common: the retention

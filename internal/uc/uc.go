@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"seuss/internal/costs"
+	"seuss/internal/entropy"
 	"seuss/internal/hypercall"
 	"seuss/internal/interp"
 	"seuss/internal/libos"
@@ -119,6 +120,30 @@ func (u *UC) freeMeta(st *mem.Store) {
 // goroutines, hence the atomic.
 var nextID atomic.Uint64
 
+// deployGen counts deployments process-wide. Every path that hands a UC
+// to a caller — fresh boot, snapshot deploy, kit redeploy — draws a new
+// generation and mixes it with a host entropy draw into the guest's RNG
+// seed (DESIGN.md §14): clones deployed from one byte-identical
+// snapshot must diverge, and the generation makes the divergence
+// unconditional even if the host's entropy source is weak.
+var deployGen atomic.Uint64
+
+func init() {
+	// Fold a boot-time generation into the id counter so UC ids (and the
+	// request ids derived from them) do not collide across process
+	// restarts sharing a snapshot directory.
+	nextID.Store(entropy.IDBase())
+}
+
+// reseed draws host entropy and a fresh deploy generation into the
+// guest, making this incarnation's RNG stream unique. Shared by every
+// deploy path; pure arithmetic plus one hypercall crossing.
+func (u *UC) reseed(uk *libos.Unikernel, rt *interp.Runtime) {
+	gen := deployGen.Add(1)
+	uk.SetDeployGeneration(gen)
+	rt.Reseed(uk.DrawEntropy(), gen)
+}
+
 // BootFresh builds a UC from nothing with the default (Node.js)
 // interpreter profile. See BootFreshProfile.
 func BootFresh(st *mem.Store, host hypercall.Host, env libos.Env) (*UC, error) {
@@ -159,6 +184,7 @@ func BootFreshProfile(st *mem.Store, host hypercall.Host, env libos.Env, prof in
 		space.Release()
 		return nil, err
 	}
+	u.reseed(uk, rt)
 	u.guest = rt
 	u.regs = snapshot.Registers{PC: TriggerPCDriverListen, SP: libos.StackTop - 4096}
 	u.state = StateIdle
@@ -246,6 +272,9 @@ func DeployPrefetched(snap *snapshot.Snapshot, host hypercall.Host, env libos.En
 		snap.ReleaseUC()
 		return nil, 0, err
 	}
+	// Re-draw uniqueness before the guest's first instruction: every
+	// clone of this snapshot restored the same staleSeed.
+	u.reseed(uk, rt)
 	// The resumed guest immediately rewrites its runtime bookkeeping
 	// (stacks, timers, socket rebind) — real post-resume work, charged.
 	if err := uk.Resume(); err != nil {
@@ -287,6 +316,9 @@ func (u *UC) redeploy(snap *snapshot.Snapshot, space *pagetable.AddressSpace, re
 	uk.Reattach(space, u.host, env)
 	uk.Rehydrate(payload.Libos)
 	u.guest.ResetForRedeploy(payload.Interp, snap.DiffPages())
+	// A recycled kit shares its guest stack across incarnations — without
+	// a re-draw, every redeploy would replay the previous clone's stream.
+	u.reseed(uk, u.guest)
 	if err := uk.Resume(); err != nil {
 		u.freeMeta(space.Backing())
 		u.state = StateDestroyed

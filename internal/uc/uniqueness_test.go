@@ -1,0 +1,155 @@
+package uc
+
+import (
+	"testing"
+
+	"seuss/internal/hypercall"
+	"seuss/internal/libos"
+	"seuss/internal/mem"
+	"seuss/internal/snapshot"
+)
+
+// randSource surfaces the guest RNG stream in the invocation result —
+// the observable the divergence tests compare.
+const randSource = `
+function main(args) {
+	return {a: Math.random(), b: Math.random()};
+}
+`
+
+// buildRandSnapshot captures a function snapshot of randSource layered
+// on a fresh runtime image.
+func buildRandSnapshot(t *testing.T, st *mem.Store) *snapshot.Snapshot {
+	t.Helper()
+	runtime := initRuntimeSnapshot(t, st, true)
+	env := &libos.CountingEnv{}
+	builder, err := Deploy(runtime, nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder.Guest().Connect()
+	if err := builder.Guest().ImportAndCompile(randSource); err != nil {
+		t.Fatal(err)
+	}
+	fnSnap, err := builder.Capture("fn/rand", TriggerPCPostCompile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder.Destroy()
+	return fnSnap
+}
+
+func invokeRand(t *testing.T, u *UC) string {
+	t.Helper()
+	if err := u.Guest().Connect(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := u.Guest().Invoke(`{}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClonesDivergeEntropy: two clones deployed from one byte-identical
+// snapshot draw distinct RNG streams and distinct identities — the
+// tentpole guarantee of DESIGN.md §14. Both deploys here use nil hosts
+// whose stubs start at the identical entropy state, so the test also
+// proves divergence survives a degenerate entropy source (the deploy
+// generation alone carries it).
+func TestClonesDivergeEntropy(t *testing.T) {
+	st := mem.NewStore(0)
+	fnSnap := buildRandSnapshot(t, st)
+	env := &libos.CountingEnv{}
+
+	a, err := Deploy(fnSnap, nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Deploy(fnSnap, nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() == b.ID() {
+		t.Error("clones share a UC id")
+	}
+	ga := a.Guest().Unikernel().DeployGeneration()
+	gb := b.Guest().Unikernel().DeployGeneration()
+	if ga == 0 || gb == 0 {
+		t.Fatalf("deploy generations not injected: %d, %d", ga, gb)
+	}
+	if ga == gb {
+		t.Error("clones share a deploy generation")
+	}
+	outA, outB := invokeRand(t, a), invokeRand(t, b)
+	if outA == outB {
+		t.Errorf("clones replayed the same RNG stream: %s", outA)
+	}
+	a.Destroy()
+	b.Destroy()
+}
+
+// TestBootUCsDivergeEntropy: even the once-per-interpreter fresh boots
+// draw their seeds from host entropy plus a generation — never the old
+// compile-time constant every node used to share.
+func TestBootUCsDivergeEntropy(t *testing.T) {
+	env := &libos.CountingEnv{}
+	mkOut := func() string {
+		u, err := BootFresh(mem.NewStore(0), nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Guest().Connect()
+		if err := u.Guest().ImportAndCompile(randSource); err != nil {
+			t.Fatal(err)
+		}
+		out, err := u.Guest().Invoke(`{}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if a, b := mkOut(), mkOut(); a == b {
+		t.Errorf("two fresh boots replayed the same RNG stream: %s", a)
+	}
+}
+
+// TestPinnedReseedDeterministic: replay determinism survives the
+// uniqueness layer — pinning the same (draw, generation) pair onto two
+// different clones reproduces the identical guest trace.
+func TestPinnedReseedDeterministic(t *testing.T) {
+	st := mem.NewStore(0)
+	fnSnap := buildRandSnapshot(t, st)
+	env := &libos.CountingEnv{}
+
+	run := func() string {
+		u, err := Deploy(fnSnap, nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Guest().Reseed(0xFEED, 3)
+		out := invokeRand(t, u)
+		u.Destroy()
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("pinned (draw, gen) did not replay:\n%s\n%s", a, b)
+	}
+}
+
+// TestDeployDrawsEntropyHypercall: every snapshot deploy crosses the
+// entropy hypercall exactly once — the uniqueness layer is on the path,
+// and it stays one crossing (the §5 narrowness budget).
+func TestDeployDrawsEntropyHypercall(t *testing.T) {
+	st := mem.NewStore(0)
+	fnSnap := buildRandSnapshot(t, st)
+	env := &libos.CountingEnv{}
+	u, err := Deploy(fnSnap, nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Destroy()
+	if got := u.Hypercalls().Counts()[hypercall.NumEntropy]; got != 1 {
+		t.Errorf("deploy crossed entropy %d times, want 1", got)
+	}
+}

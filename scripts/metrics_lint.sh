@@ -180,5 +180,13 @@ require '^seuss_ws_records_total{outcome="corrupt"} 0$'
 require '^seuss_ws_prefetched_pages_total 0$'
 require '^seuss_ws_coverage_pages_total{result="hit"} 0$'
 require '^seuss_ws_coverage_pages_total{result="miss"} 0$'
+# Restore-time uniqueness (DESIGN.md §14): one boot reseed per template
+# runtime boot, one cold reseed for the cold invocation above; the hot
+# invocation deploys nothing, so the remaining paths stay zero.
+require '^seuss_uc_reseeds_total{path="boot"} [1-9]'
+require '^seuss_uc_reseeds_total{path="cold"} 1$'
+require '^seuss_uc_reseeds_total{path="warm"} 0$'
+require '^seuss_uc_reseeds_total{path="lukewarm"} 0$'
+require '^seuss_uc_reseeds_total{path="kit"} 0$'
 
 echo "OK: /metrics exposition is well-formed" >&2

@@ -47,18 +47,29 @@ wait_healthy() {
 echo "== building seuss-node" >&2
 go build -o "$TMP/seuss-node" ./cmd/seuss-node
 
+# invoke POSTs $BODY once, records the response's request_id (restore-
+# time uniqueness: ids must never repeat, even across process restarts
+# sharing one -snapdir), and prints the serving path.
+IDS="$TMP/request_ids.txt"
+invoke() {
+  local resp
+  resp="$(curl -sf -X POST "http://$ADDR/invoke" -d "$BODY")"
+  printf '%s\n' "$resp" | sed -n 's/.*"request_id":\([0-9][0-9]*\).*/\1/p' >>"$IDS"
+  printf '%s\n' "$resp" | sed -n 's/.*"path":"\([a-z]*\)".*/\1/p'
+}
+
 echo "== first boot with -snapdir $SNAPDIR" >&2
 "$TMP/seuss-node" -addr "$ADDR" -shards 2 -snapdir "$SNAPDIR" >"$TMP/node1.log" 2>&1 &
 NODE_PID=$!
 wait_healthy "$TMP/node1.log"
 
 BODY='{"key":"smoke/fn","source":"function main(a) { return {ok: true}; }"}'
-PATH1="$(curl -sf -X POST "http://$ADDR/invoke" -d "$BODY" | sed -n 's/.*"path":"\([a-z]*\)".*/\1/p')"
+PATH1="$(invoke)"
 if [ "$PATH1" != "cold" ]; then
   echo "FAIL: first-ever invocation path is '$PATH1', want cold" >&2
   exit 1
 fi
-curl -sf -X POST "http://$ADDR/invoke" -d "$BODY" >/dev/null
+invoke >/dev/null
 
 echo "== SIGTERM: graceful drain must flush the tier" >&2
 kill -TERM "$NODE_PID"
@@ -85,7 +96,7 @@ if ! grep -q "prewarmed .* function snapshot stacks" "$TMP/node2.log"; then
   exit 1
 fi
 
-PATH2="$(curl -sf -X POST "http://$ADDR/invoke" -d "$BODY" | sed -n 's/.*"path":"\([a-z]*\)".*/\1/p')"
+PATH2="$(invoke)"
 case "$PATH2" in
   warm|hot) ;;
   *)
@@ -125,7 +136,7 @@ echo "== third boot with -no-prewarm: lukewarm restore records the working set" 
 "$TMP/seuss-node" -addr "$ADDR" -shards 2 -snapdir "$SNAPDIR" -no-prewarm >"$TMP/node3.log" 2>&1 &
 NODE_PID=$!
 wait_healthy "$TMP/node3.log"
-PATH3="$(curl -sf -X POST "http://$ADDR/invoke" -d "$BODY" | sed -n 's/.*"path":"\([a-z]*\)".*/\1/p')"
+PATH3="$(invoke)"
 if [ "$PATH3" != "lukewarm" ]; then
   echo "FAIL: first no-prewarm invocation path is '$PATH3', want lukewarm" >&2
   cat "$TMP/node3.log" >&2
@@ -146,7 +157,7 @@ echo "== fourth boot with -no-prewarm: the record survives restart and prefetche
 "$TMP/seuss-node" -addr "$ADDR" -shards 2 -snapdir "$SNAPDIR" -no-prewarm >"$TMP/node4.log" 2>&1 &
 NODE_PID=$!
 wait_healthy "$TMP/node4.log"
-PATH4="$(curl -sf -X POST "http://$ADDR/invoke" -d "$BODY" | sed -n 's/.*"path":"\([a-z]*\)".*/\1/p')"
+PATH4="$(invoke)"
 if [ "$PATH4" != "lukewarm" ]; then
   echo "FAIL: first post-restart invocation path is '$PATH4', want lukewarm" >&2
   cat "$TMP/node4.log" >&2
@@ -155,5 +166,19 @@ fi
 curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt"
 require '^seuss_ws_prefetched_pages_total [1-9]'
 require '^seuss_ws_coverage_pages_total{result="hit"} [1-9]'
+
+echo "== request-id uniqueness across all four boots" >&2
+IDCOUNT="$(wc -l < "$IDS")"
+if [ "$IDCOUNT" -lt 5 ]; then
+  echo "FAIL: captured only $IDCOUNT request ids, want 5" >&2
+  cat "$IDS" >&2
+  exit 1
+fi
+DUPES="$(sort -n "$IDS" | uniq -d)"
+if [ -n "$DUPES" ]; then
+  echo "FAIL: request ids reused across process restarts:" >&2
+  echo "$DUPES" >&2
+  exit 1
+fi
 
 echo "OK: restart recovered warm starts from the snapshot tier" >&2

@@ -33,6 +33,7 @@ import (
 
 	"seuss/internal/cluster"
 	"seuss/internal/core"
+	"seuss/internal/entropy"
 	"seuss/internal/faas"
 	"seuss/internal/fault"
 	"seuss/internal/metrics"
@@ -117,6 +118,16 @@ type NodeConfig = core.Config
 // NodeDefaults returns the paper's node configuration: 16 cores, 88 GB
 // memory, network and interpreter anticipatory optimizations enabled.
 func NodeDefaults() NodeConfig { return core.DefaultConfig() }
+
+// NewEntropySource returns a concurrency-safe deploy-entropy source
+// seeded from the process boot generation, for NodeConfig.Entropy: a
+// live daemon's clones then diverge across binary restarts too, not
+// just within one process. Leave Entropy nil for replayable runs —
+// divergence between clones is guaranteed either way by the deploy
+// generation (DESIGN.md §14).
+func NewEntropySource() func() uint64 {
+	return entropy.NewSharedSource(entropy.BootGeneration())
+}
 
 // Node is a SEUSS OS compute node: snapshot cache, UC cache, and the
 // cold/warm/hot invocation paths.
