@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	seuss-experiments [-run all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fabric|failover]
-//	                  [-out DIR] [-quick] [-seed N]
+//	seuss-experiments [-run all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fabric|failover|policy]
+//	                  [-out DIR] [-quick] [-seed N] [-trace-file CSV]
 //
 // -quick shrinks iteration counts and sweep ranges for a fast pass;
 // the default sizes reproduce the full experiments (minutes of wall
-// time for the figure sweeps).
+// time for the figure sweeps). -trace-file replaces the policy
+// experiment's synthetic key population with one parsed from a CSV of
+// `key,process,mean_ms[,sigma[,cpu_ms]]` rows.
 package main
 
 import (
@@ -20,13 +22,15 @@ import (
 	"time"
 
 	"seuss/internal/experiments"
+	"seuss/internal/workload"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, fig6, fig7, fig8, fabric, failover")
+	run := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, fig6, fig7, fig8, fabric, failover, policy")
 	out := flag.String("out", "", "directory for TSV outputs (default: none written)")
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	traceFile := flag.String("trace-file", "", "CSV trace for the policy experiment (key,process,mean_ms[,sigma[,cpu_ms]])")
 	flag.Parse()
 
 	want := func(name string) bool { return *run == "all" || *run == name }
@@ -122,6 +126,32 @@ func main() {
 		}
 		fmt.Println(f.Render())
 		writeTSV("failover.tsv", f.TSV())
+	}
+	if want("policy") {
+		cfg := experiments.PolicyConfig{Seed: *seed}
+		if *quick {
+			cfg.HotKeys = 20
+			cfg.PeriodicKeys = 60
+			cfg.OnceKeys = 200
+		}
+		if *traceFile != "" {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			keys, err := workload.ParseTraceCSV(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Keys = keys
+		}
+		f, err := experiments.RunPolicy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Render())
+		writeTSV("policy.tsv", f.TSV())
 	}
 	if want("fig5") {
 		n := 1000

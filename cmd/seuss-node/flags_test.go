@@ -37,6 +37,9 @@ func TestFlagSetIsExactlyTheDocumentedOne(t *testing.T) {
 		"snapdir":       true,
 		"snap-disk-cap": true,
 		"no-prewarm":    true,
+		"policy":        true,
+		"keepalive":     true,
+		"policy-tick":   true,
 		"pprof":         true,
 	}
 	got := map[string]bool{}

@@ -5,7 +5,8 @@
 //	seuss-node [-addr :8080] [-shards N] [-no-ao] [-no-steal]
 //	           [-deadline 0] [-fault-seed 0] [-fault-rate 0]
 //	           [-snapdir DIR] [-snap-disk-cap BYTES] [-no-prewarm]
-//	           [-pprof localhost:6060]
+//	           [-policy none|fixed|hybrid] [-keepalive 10m]
+//	           [-policy-tick 30s] [-pprof localhost:6060]
 //
 // The node is a sharded pool: N shared-nothing compute shards (default:
 // one per CPU), each hydrated from a single encoded base-runtime
@@ -51,6 +52,17 @@
 // drain in-flight invocations (bounded by a 30 s grace period), and
 // only then stop the shard goroutines. Read/write/idle timeouts bound
 // every connection so a stuck client cannot pin a handler forever.
+//
+// -policy attaches a lifecycle policy (DESIGN.md §15): "none" scales
+// every function to zero as soon as the reaper sees it idle, "fixed"
+// gives every function the -keepalive window (default 10m), "hybrid"
+// learns per-function windows from inter-arrival histograms and
+// prewarms periodic functions ahead of their predicted next arrival
+// (requires -snapdir for scale-to-zero demotion to survive). A
+// wall-clock ticker fires every -policy-tick, advancing each shard's
+// virtual clock by the tick period and running one reaper pass. With
+// no -policy, idle state is kept until memory pressure evicts it —
+// the pre-policy behavior.
 //
 // -fault-seed and -fault-rate enable the deterministic fault injector
 // on every shard (see internal/fault): the same seed replays the same
@@ -382,6 +394,9 @@ type options struct {
 	faultRate   *float64
 	snapDir     *string
 	snapDiskCap *int64
+	policy      *string
+	keepalive   *time.Duration
+	policyTick  *time.Duration
 	pprofAddr   *string
 }
 
@@ -398,6 +413,9 @@ func registerFlags(fs *flag.FlagSet) *options {
 		faultRate:   fs.Float64("fault-rate", 0, "fault-point firing probability (0 disables injection)"),
 		snapDir:     fs.String("snapdir", "", "snapshot disk-tier directory (empty = memory-only; evictions destroy snapshots)"),
 		snapDiskCap: fs.Int64("snap-disk-cap", -1, "snapshot disk-tier capacity in bytes (-1 = unlimited, 0 = reject all writes)"),
+		policy:      fs.String("policy", "", "lifecycle policy: none, fixed, or hybrid (empty = keep idle state until memory pressure)"),
+		keepalive:   fs.Duration("keepalive", 10*time.Minute, "keep-alive window for -policy fixed"),
+		policyTick:  fs.Duration("policy-tick", 30*time.Second, "lifecycle reaper period (wall clock; each tick advances the shards' virtual clocks by this much)"),
 		pprofAddr:   fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)"),
 	}
 }
@@ -435,6 +453,13 @@ func main() {
 	// restarts too, not just within one process (DESIGN.md §14). The
 	// source is shared by every shard, hence the concurrency-safe form.
 	cfg.Node.Entropy = seuss.NewEntropySource()
+	if *opts.policy != "" {
+		pol, err := seuss.NewLifecyclePolicy(*opts.policy, *opts.keepalive)
+		if err != nil {
+			log.Fatalf("seuss-node: %v", err)
+		}
+		cfg.Node.Policy = pol
+	}
 	if *snapDir != "" {
 		store, err := seuss.OpenSnapshotStore(*snapDir, *snapDiskCap)
 		if err != nil {
@@ -462,6 +487,36 @@ func main() {
 		} else if n > 0 {
 			log.Printf("prewarmed %d function snapshot stacks from %s", n, *snapDir)
 		}
+	}
+
+	// The lifecycle reaper: a wall-clock ticker mapped onto the shards'
+	// virtual clocks (idle time is modelled explicitly — invocations
+	// only advance a shard's clock by their own latencies, so each tick
+	// contributes its period as idle time before the reaper pass).
+	policyStop := make(chan struct{})
+	policyDone := make(chan struct{})
+	if cfg.Node.Policy != nil {
+		log.Printf("lifecycle policy %s armed: reaper every %v", cfg.Node.Policy.Name(), *opts.policyTick)
+		go func() {
+			defer close(policyDone)
+			tick := time.NewTicker(*opts.policyTick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if ts, err := pool.PolicyTick(*opts.policyTick); err != nil {
+						log.Printf("seuss-node: policy tick: %v", err)
+					} else if ts.ExpiredUCs+ts.DemotedLineages+ts.Prewarmed > 0 {
+						log.Printf("reaper: %d UCs expired, %d lineages scaled to zero, %d prewarmed",
+							ts.ExpiredUCs, ts.DemotedLineages, ts.Prewarmed)
+					}
+				case <-policyStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(policyDone)
 	}
 
 	s := &server{pool: pool, tracer: cfg.Node.Tracer}
@@ -493,6 +548,8 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("seuss-node: serve: %v", err)
 	}
+	close(policyStop)
+	<-policyDone
 	if *snapDir != "" {
 		// Drained: every in-flight invocation finished, so flushing the
 		// resident snapshots now captures the final state of every shard.

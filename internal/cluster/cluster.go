@@ -28,6 +28,7 @@ import (
 	"seuss/internal/fault"
 	"seuss/internal/mem"
 	"seuss/internal/metrics"
+	"seuss/internal/policy"
 	"seuss/internal/sched"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
@@ -78,6 +79,14 @@ type Config struct {
 	// Placer overrides the placement policy entirely (default: a
 	// sched.LocalityPlacer configured from Policy).
 	Placer sched.Placer
+	// Lifecycle is the per-function lifecycle policy — keep-alive,
+	// scale-to-zero, predictive prewarm — cloned into every member
+	// (policies accumulate per-key history, so members never share an
+	// instance). Lifecycle transitions a member's reaper makes are
+	// reflected into the scheduler view, keeping placement aware of
+	// scaled-to-zero lineages. Nil disables lifecycle management. (The
+	// name: Policy was already taken by the placement policy above.)
+	Lifecycle policy.Policy
 	// LinkBandwidth is the inter-node network bandwidth
 	// (default 10 Gb/s, the paper's testbed fabric).
 	LinkBandwidth float64 // bytes/second
@@ -378,6 +387,10 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		}
 		if nc.Tracer == nil {
 			nc.Tracer = cfg.Tracer
+		}
+		if cfg.Lifecycle != nil {
+			nc.Policy = cfg.Lifecycle.Clone()
+			nc.Residency = lifecycleResidency{c: c, id: i}
 		}
 		var store *snapstore.Store
 		if cfg.SnapDir != "" {

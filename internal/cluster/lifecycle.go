@@ -1,0 +1,48 @@
+// Cluster-scope lifecycle management: each member runs the core
+// reaper over its private policy clone, and the transitions the reaper
+// makes are reflected into the shared scheduler view so placement
+// never routes to a lineage the policy just scaled to zero — and
+// routes *toward* one a prewarm just brought back.
+package cluster
+
+import (
+	"seuss/internal/core"
+	"seuss/internal/sim"
+)
+
+// lifecycleResidency bridges one member's reaper transitions into the
+// scheduler view. It fires only from reaper paths (PolicyTick on the
+// cluster's single engine goroutine), so no locking beyond the view's
+// own is needed.
+type lifecycleResidency struct {
+	c  *Cluster
+	id int
+}
+
+func (r lifecycleResidency) LineageDemoted(key string) {
+	r.c.view.DropResident(r.id, key)
+}
+
+func (r lifecycleResidency) LineagePromoted(key string) {
+	r.c.view.MarkResident(r.id, key)
+}
+
+// PolicyTick runs one lifecycle-reaper pass on every live member at
+// the current virtual instant and returns the aggregate. Crashed and
+// partitioned members are skipped: a partitioned node's own reaper
+// would keep running in reality, but its view updates could not
+// propagate — deferring its pass until heal keeps the view exact,
+// which the repair pass depends on. No-op without Config.Lifecycle.
+func (c *Cluster) PolicyTick(p *sim.Proc) core.TickStats {
+	var ts core.TickStats
+	if c.cfg.Lifecycle == nil {
+		return ts
+	}
+	for _, m := range c.members {
+		if !m.alive() || m.Node == nil {
+			continue
+		}
+		ts.Add(m.Node.PolicyTick(p))
+	}
+	return ts
+}

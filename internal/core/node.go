@@ -50,6 +50,7 @@ import (
 	"seuss/internal/mem"
 	"seuss/internal/metrics"
 	"seuss/internal/netsim"
+	"seuss/internal/policy"
 	"seuss/internal/sim"
 	"seuss/internal/snapshot"
 	"seuss/internal/snapstore"
@@ -153,6 +154,31 @@ type Config struct {
 	// store (it is internally synchronized). nil keeps today's
 	// destroy-on-evict behavior.
 	SnapStore *snapstore.Store
+	// Policy, when non-nil, turns on lifecycle management: PolicyTick
+	// expires idle UCs past their keep-alive window, demotes idle
+	// lineages to the disk tier (scale-to-zero), and promotes lineages
+	// back ahead of predicted recurrences (prewarm). The policy is
+	// consulted only from the node's owner goroutine; a shard pool
+	// clones it per shard. nil keeps the pressure ladder as the only
+	// reclaim trigger — exactly the pre-policy behavior.
+	Policy policy.Policy
+	// Residency, when non-nil, observes the reaper's lineage residency
+	// transitions (scale-to-zero demotions, prewarm promotions). A
+	// cluster wires this to its scheduler view so placement stops
+	// routing to members whose copy left RAM. Callbacks run on the
+	// node's owner goroutine and must not re-enter the node.
+	Residency ResidencyListener
+}
+
+// ResidencyListener observes lineage residency transitions driven by
+// the lifecycle reaper.
+type ResidencyListener interface {
+	// LineageDemoted fires after the reaper scales key to zero: the
+	// resident snapshot was demoted to the disk tier and freed.
+	LineageDemoted(key string)
+	// LineagePromoted fires after the prewarm scheduler promotes key
+	// back into RAM.
+	LineagePromoted(key string)
 }
 
 func (c Config) withDefaults() Config {
@@ -231,6 +257,12 @@ type Stats struct {
 	WSPrefetchedPages int64
 	WSCoverageHits    int64
 	WSCoverageMisses  int64
+	// The lifecycle policy reaper: keep-alive expirations (idle UCs
+	// destroyed plus lineages scaled to zero) and prewarm outcomes.
+	PolicyExpirations     int64
+	PolicyPrewarms        int64
+	PolicyPrewarmMisses   int64
+	PolicyPrewarmMisfires int64
 }
 
 // Add accumulates o into s (pool/cluster aggregation).
@@ -261,6 +293,10 @@ func (s *Stats) Add(o Stats) {
 	s.WSPrefetchedPages += o.WSPrefetchedPages
 	s.WSCoverageHits += o.WSCoverageHits
 	s.WSCoverageMisses += o.WSCoverageMisses
+	s.PolicyExpirations += o.PolicyExpirations
+	s.PolicyPrewarms += o.PolicyPrewarms
+	s.PolicyPrewarmMisses += o.PolicyPrewarmMisses
+	s.PolicyPrewarmMisfires += o.PolicyPrewarmMisfires
 }
 
 // managedUC pairs a UC with its host environment so later operations
@@ -314,6 +350,12 @@ type Node struct {
 	idleCount    int
 	nextCore     int
 
+	// prewarmDue schedules policy-predicted promotions: key → the
+	// instant (duration since engine start) PolicyTick should promote
+	// the scaled-to-zero lineage back into RAM. An invocation arriving
+	// first cancels the entry.
+	prewarmDue map[string]time.Duration
+
 	// entropySrc backs deploy-time entropy draws when cfg.Entropy is
 	// nil. Plain (non-atomic) state is fine under the node ownership
 	// contract: one goroutine owns all node methods.
@@ -333,6 +375,7 @@ func newNodeShell(eng *sim.Engine, cfg Config, store *mem.Store) *Node {
 		proxy:        netsim.NewProxy(cfg.Cores),
 		fnSnaps:      make(map[string]*fnEntry),
 		idle:         make(map[string][]*idleUC),
+		prewarmDue:   make(map[string]time.Duration),
 		runtimeSnaps: make(map[string]*snapshot.Snapshot, len(cfg.Runtimes)),
 		entropySrc:   entropy.NewSource(uint64(cfg.Seed)),
 	}
@@ -771,6 +814,20 @@ func (n *Node) finish(start sim.Time, id uint64, key string, path Path, gen uint
 	default:
 		n.stats.Hot++
 	}
+	if pol := n.cfg.Policy; pol != nil {
+		nowD := time.Duration(n.eng.Now())
+		pol.RecordInvoke(key, nowD)
+		// Touch the lineage so SnapshotKeepAlive ages from the last
+		// invocation on every path (hot serves bypass the entry).
+		if e, ok := n.fnSnaps[key]; ok {
+			e.last = n.eng.Now()
+		}
+		// A real arrival supersedes any scheduled prewarm.
+		delete(n.prewarmDue, key)
+		if ka := pol.KeepAlive(key, nowD); ka >= 0 {
+			n.cfg.Metrics.Observe(metrics.HistPolicyKeepalive, ka)
+		}
+	}
 	return Result{
 		ID:      id,
 		Path:    path,
@@ -949,7 +1006,7 @@ func (n *Node) runOn(p *sim.Proc, mu *managedUC, req Request) (string, error) {
 		}
 		return "", fault.Contain(fmt.Errorf("%w: %v", ErrUCCrashed, err))
 	}
-	n.putIdle(req.Key, mu)
+	n.putIdle(p, req.Key, mu)
 	return out, nil
 }
 
@@ -979,15 +1036,52 @@ func (n *Node) takeIdle(key string) *managedUC {
 	return entry.mu
 }
 
-// putIdle caches a UC for hot reuse.
-func (n *Node) putIdle(key string, mu *managedUC) {
+// putIdle caches a UC for hot reuse. At the MaxIdlePerFn cap the key's
+// LRU idle UC is evicted in favor of the incoming (warmest) one, the
+// eviction is accounted as a reclaim, the lifecycle policy hears about
+// the pressure, and — when a disk tier is attached — the lineage is
+// demote-flushed so the displaced state keeps a lukewarm path back.
+// (Previously the incoming UC was silently destroyed: no stat, no
+// metric, no policy signal, no tier copy.)
+func (n *Node) putIdle(p *sim.Proc, key string, mu *managedUC) {
 	mu.u.SetIdle()
-	if len(n.idle[key]) >= n.cfg.MaxIdlePerFn {
+	if n.cfg.MaxIdlePerFn < 0 {
+		// Negative cap disables the idle cache entirely (a test knob,
+		// not pressure) — destroy the UC without reclaim accounting.
 		n.destroyUC(mu)
 		return
 	}
-	n.idle[key] = append(n.idle[key], &idleUC{mu: mu, key: key, last: n.eng.Now()})
+	list := n.idle[key]
+	if len(list) >= n.cfg.MaxIdlePerFn && len(list) > 0 {
+		victim := list[0]
+		copy(list, list[1:])
+		list[len(list)-1] = &idleUC{mu: mu, key: key, last: n.eng.Now()}
+		victim.mu.e.bind(p)
+		n.destroyUC(victim.mu)
+		n.stats.UCsReclaimed++
+		n.cfg.Metrics.Inc(metrics.CtrUCsReclaimed)
+		n.notePressure(key)
+		if st := n.cfg.SnapStore; st != nil && !st.Has("fn/"+key) {
+			if e, ok := n.fnSnaps[key]; ok {
+				n.demoteSnapshot(p, e.snap)
+			}
+		}
+		n.cfg.Tracer.Record(trace.Event{
+			At: time.Duration(n.eng.Now()), Kind: trace.KindReclaim, Key: key,
+			Detail: "idle cap: LRU idle UC evicted for the incoming one",
+		})
+		return
+	}
+	n.idle[key] = append(list, &idleUC{mu: mu, key: key, last: n.eng.Now()})
 	n.idleCount++
+}
+
+// notePressure tells the lifecycle policy key lost idle state to
+// memory pressure rather than natural idleness.
+func (n *Node) notePressure(key string) {
+	if pol := n.cfg.Policy; pol != nil {
+		pol.RecordPressure(key, time.Duration(n.eng.Now()))
+	}
 }
 
 // reclaimIfNeeded applies the §6 OOM policy: reclaim idle UCs as soon
@@ -1036,6 +1130,7 @@ func (n *Node) reclaimOneIdle(p *sim.Proc) bool {
 	n.destroyUC(oldest.mu)
 	n.stats.UCsReclaimed++
 	n.cfg.Metrics.Inc(metrics.CtrUCsReclaimed)
+	n.notePressure(oldestKey)
 	n.cfg.Tracer.Record(trace.Event{
 		At: time.Duration(n.eng.Now()), Kind: trace.KindReclaim, Key: oldestKey,
 	})
@@ -1085,6 +1180,7 @@ func (n *Node) evictOneSnapshot(p *sim.Proc) bool {
 			n.cfg.Metrics.Inc(metrics.CtrUCsReclaimed)
 		}
 		delete(n.idle, lruKey)
+		n.notePressure(lruKey)
 	}
 	if lru.snap.ActiveUCs() > 0 {
 		return false // a live invocation depends on it; try later
@@ -1123,6 +1219,7 @@ func (n *Node) dropSnapshot(p *sim.Proc, key string) bool {
 			n.cfg.Metrics.Inc(metrics.CtrUCsReclaimed)
 		}
 		delete(n.idle, key)
+		n.notePressure(key)
 	}
 	if entry.snap.ActiveUCs() > 0 || entry.snap.Children() > 0 {
 		return false

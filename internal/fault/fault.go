@@ -82,6 +82,14 @@ const (
 	// prevent. The divergence tests fire it to prove they would catch a
 	// regression.
 	PointEntropyStale Point = "entropy-stale"
+	// PointPolicyMisfire makes the lifecycle policy misjudge one reaper
+	// tick (core PolicyTick): keep-alive windows collapse to zero, so
+	// idle state expires early, and the prewarm scheduler promotes a
+	// tier lineage nothing predicted a recurrence for. Both
+	// mispredictions are safe-by-construction — expired state
+	// lukewarm-restores on the next hit and a useless prewarm only
+	// wastes RAM — and the policy tests fire this point to prove it.
+	PointPolicyMisfire Point = "policy-misfire"
 )
 
 var (
@@ -98,6 +106,7 @@ var (
 		PointMemberPartition: "member unreachable but running; suspected, then declared dead until healed",
 		PointWSCorrupt:       "working-set sidecar corrupts on read; restore degrades to on-demand faulting",
 		PointEntropyStale:    "deploy skips the uniqueness re-draw; the clone keeps the snapshot's stale RNG seed",
+		PointPolicyMisfire:   "lifecycle policy misjudges one tick; keep-alive expires early and a prewarm fires for a key with no recurrence",
 	}
 )
 

@@ -46,6 +46,31 @@ var LatencyBuckets = [...]time.Duration{
 // +Inf overflow bucket.
 const NumBuckets = len(LatencyBuckets) + 1
 
+// KeepaliveBuckets are the bounds for duration-valued (not
+// latency-valued) histograms — keep-alive windows run seconds to
+// hours, three orders of magnitude above invocation latencies. Same
+// bucket count as LatencyBuckets: every Histogram shares one storage
+// layout and only the bound table differs.
+var KeepaliveBuckets = [len(LatencyBuckets)]time.Duration{
+	1 * time.Second,
+	5 * time.Second,
+	10 * time.Second,
+	20 * time.Second,
+	30 * time.Second,
+	45 * time.Second,
+	1 * time.Minute,
+	2 * time.Minute,
+	3 * time.Minute,
+	5 * time.Minute,
+	10 * time.Minute,
+	15 * time.Minute,
+	30 * time.Minute,
+	1 * time.Hour,
+	2 * time.Hour,
+	6 * time.Hour,
+	24 * time.Hour,
+}
+
 // Histogram is a fixed-bucket, lock-free latency histogram. The zero
 // value is ready to use. Buckets hold per-bucket (non-cumulative)
 // counts; the exposition layer accumulates them into the cumulative
@@ -55,11 +80,17 @@ type Histogram struct {
 	sum     atomic.Int64 // nanoseconds
 }
 
-// Observe records one duration. Safe for concurrent use; never
-// allocates.
+// Observe records one duration against the default latency bounds.
+// Safe for concurrent use; never allocates.
 func (h *Histogram) Observe(d time.Duration) {
+	h.observe(&LatencyBuckets, d)
+}
+
+// observe records one duration against an explicit bound table (the
+// Recorder picks per-Hist bounds; see boundsFor).
+func (h *Histogram) observe(bounds *[len(LatencyBuckets)]time.Duration, d time.Duration) {
 	i := 0
-	for i < len(LatencyBuckets) && d > LatencyBuckets[i] {
+	for i < len(bounds) && d > bounds[i] {
 		i++
 	}
 	h.buckets[i].Add(1)

@@ -105,6 +105,12 @@ const (
 	CtrReseedsWarm
 	CtrReseedsLukewarm
 	CtrReseedsKit
+	// Lifecycle policy: keep-alive expirations (idle UCs destroyed and
+	// lineages scaled to zero) and prewarm outcomes.
+	CtrPolicyExpirations
+	CtrPolicyPrewarmsPromoted
+	CtrPolicyPrewarmsMiss
+	CtrPolicyPrewarmsMisfire
 
 	numCounters
 )
@@ -118,6 +124,10 @@ const (
 	HistWarmLatency
 	HistHotLatency
 	HistLukewarmLatency
+	// HistPolicyKeepalive records the keep-alive window the lifecycle
+	// policy granted at each invocation completion — duration-scaled
+	// buckets (KeepaliveBuckets), not latency-scaled.
+	HistPolicyKeepalive
 
 	numHists
 )
@@ -201,6 +211,11 @@ var counterDescs = [numCounters]desc{
 	CtrReseedsWarm:     {"seuss_uc_reseeds_total", "", `path="warm"`},
 	CtrReseedsLukewarm: {"seuss_uc_reseeds_total", "", `path="lukewarm"`},
 	CtrReseedsKit:      {"seuss_uc_reseeds_total", "", `path="kit"`},
+
+	CtrPolicyExpirations:      {"seuss_policy_expirations_total", "Keep-alive expirations by the lifecycle policy: idle UCs destroyed plus lineages demoted to the disk tier (scale-to-zero).", ""},
+	CtrPolicyPrewarmsPromoted: {"seuss_policy_prewarms_total", "Policy-driven prewarm attempts, by outcome.", `outcome="promoted"`},
+	CtrPolicyPrewarmsMiss:     {"seuss_policy_prewarms_total", "", `outcome="miss"`},
+	CtrPolicyPrewarmsMisfire:  {"seuss_policy_prewarms_total", "", `outcome="misfire"`},
 }
 
 var histDescs = [numHists]desc{
@@ -208,6 +223,22 @@ var histDescs = [numHists]desc{
 	HistWarmLatency:     {"seuss_invocation_latency_seconds", "", `path="warm"`},
 	HistHotLatency:      {"seuss_invocation_latency_seconds", "", `path="hot"`},
 	HistLukewarmLatency: {"seuss_invocation_latency_seconds", "", `path="lukewarm"`},
+	HistPolicyKeepalive: {"seuss_policy_keepalive_seconds", "Keep-alive window granted by the lifecycle policy at each invocation completion.", ""},
+}
+
+// histBounds overrides a histogram's bucket bound table; nil entries
+// use the default LatencyBuckets.
+var histBounds = [numHists]*[len(LatencyBuckets)]time.Duration{
+	HistPolicyKeepalive: &KeepaliveBuckets,
+}
+
+// boundsFor returns the bound table a histogram records and renders
+// against.
+func boundsFor(h Hist) *[len(LatencyBuckets)]time.Duration {
+	if b := histBounds[h]; b != nil {
+		return b
+	}
+	return &LatencyBuckets
 }
 
 // Recorder is one collection point's metric storage: a fixed array of
@@ -241,7 +272,7 @@ func (r *Recorder) AddCounter(c Counter, n int64) {
 // never allocates.
 func (r *Recorder) Observe(h Hist, d time.Duration) {
 	if r != nil {
-		r.hists[h].Observe(d)
+		r.hists[h].observe(boundsFor(h), d)
 	}
 }
 
@@ -312,7 +343,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			}
 			prev = d.name
 		}
-		if err := writeHistogram(w, d, s.Hists[i]); err != nil {
+		if err := writeHistogram(w, d, boundsFor(i), s.Hists[i]); err != nil {
 			return err
 		}
 	}
@@ -336,7 +367,7 @@ func renderLabels(labels string) string {
 	return "{" + labels + "}"
 }
 
-func writeHistogram(w io.Writer, d desc, h HistogramSnapshot) error {
+func writeHistogram(w io.Writer, d desc, bounds *[len(LatencyBuckets)]time.Duration, h HistogramSnapshot) error {
 	sep := ""
 	if d.labels != "" {
 		sep = d.labels + ","
@@ -345,8 +376,8 @@ func writeHistogram(w io.Writer, d desc, h HistogramSnapshot) error {
 	for i, n := range h.Buckets {
 		cum += n
 		le := "+Inf"
-		if i < len(LatencyBuckets) {
-			le = formatSeconds(LatencyBuckets[i])
+		if i < len(bounds) {
+			le = formatSeconds(bounds[i])
 		}
 		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", d.name, sep, le, cum); err != nil {
 			return err

@@ -1,0 +1,172 @@
+package shardpool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"seuss/internal/core"
+	"seuss/internal/policy"
+)
+
+// TestPolicyTickExpiresAcrossShards: the pool-scope reaper heartbeat
+// reaches every shard — idle UCs past their keep-alive die on all of
+// them, lineages scale to zero into the shared tier, and the next hit
+// per key lukewarm-restores with its original output.
+func TestPolicyTickExpiresAcrossShards(t *testing.T) {
+	const fns = 6
+	cfg, store := tierConfig(t, 3, -1)
+	cfg.Node.Policy = policy.FixedKeepAlive{Window: 30 * time.Second}
+
+	pool := newTestPool(t, cfg)
+	key := func(i int) string { return fmt.Sprintf("acct/fn%d", i) }
+	firstOutputs := make(map[string]string, fns)
+	for i := 0; i < fns; i++ {
+		res, err := pool.InvokeSync(key(i), nopSource, "{}")
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstOutputs[key(i)] = res.Output
+	}
+	st, err := pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IdleUCs != fns {
+		t.Fatalf("idle UCs = %d, want %d", st.IdleUCs, fns)
+	}
+
+	// Inside the window: nothing expires.
+	if ts, err := pool.PolicyTick(10 * time.Second); err != nil || ts != (core.TickStats{}) {
+		t.Fatalf("early tick = %+v err=%v, want zero", ts, err)
+	}
+
+	// Past the window: every shard reaps its residents.
+	ts, err := pool.PolicyTick(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.ExpiredUCs != fns || ts.DemotedLineages != fns {
+		t.Fatalf("tick = %+v, want %d expired and demoted", ts, fns)
+	}
+	st, err = pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IdleUCs != 0 || st.CachedSnapshots != 0 {
+		t.Errorf("post-tick residency: idle=%d snaps=%d, want 0/0", st.IdleUCs, st.CachedSnapshots)
+	}
+	if store.Len() == 0 {
+		t.Error("scale-to-zero left the tier empty")
+	}
+
+	for i := 0; i < fns; i++ {
+		res, err := pool.InvokeSync(key(i), nopSource, "{}")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Path != core.PathLukewarm {
+			t.Errorf("%s post-expiry path = %v, want lukewarm", key(i), res.Path)
+		}
+		if res.Output != firstOutputs[key(i)] {
+			t.Errorf("%s restored output %q != original %q", key(i), res.Output, firstOutputs[key(i)])
+		}
+	}
+}
+
+// TestPolicyTickWithoutPolicyIsNoOpAtPoolScope: a pool with no
+// lifecycle policy ignores the heartbeat entirely.
+func TestPolicyTickWithoutPolicyIsNoOpAtPoolScope(t *testing.T) {
+	pool := newTestPool(t, testConfig(2))
+	if _, err := pool.InvokeSync("acct/fn", nopSource, "{}"); err != nil {
+		t.Fatal(err)
+	}
+	if ts, err := pool.PolicyTick(time.Hour); err != nil || ts != (core.TickStats{}) {
+		t.Fatalf("tick = %+v err=%v, want zero no-op", ts, err)
+	}
+	st, err := pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IdleUCs != 1 {
+		t.Errorf("no-policy tick touched residency: idle=%d", st.IdleUCs)
+	}
+}
+
+// TestPolicyTickRacesInflightInvokes: the reaper/inflight race — ticks
+// hammer the pool while clients invoke concurrently. Control messages
+// serialize through the shard owner goroutines, so under -race this
+// must be clean, every invocation must succeed, and nothing may be
+// double-freed no matter how the heartbeat interleaves.
+func TestPolicyTickRacesInflightInvokes(t *testing.T) {
+	cfg, _ := tierConfig(t, 2, -1)
+	cfg.Node.Policy = policy.FixedKeepAlive{Window: time.Millisecond}
+
+	pool := newTestPool(t, cfg)
+	const clients, perClient = 4, 25
+	stop := make(chan struct{})
+	var ticker sync.WaitGroup
+	ticker.Add(1)
+	go func() {
+		defer ticker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := pool.PolicyTick(time.Second); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var cw sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		cw.Add(1)
+		go func(c int) {
+			defer cw.Done()
+			for i := 0; i < perClient; i++ {
+				key := fmt.Sprintf("acct/fn%d", (c*perClient+i)%8)
+				if _, err := pool.InvokeSync(key, nopSource, "{}"); err != nil {
+					t.Errorf("%s: %v", key, err)
+					return
+				}
+			}
+		}(c)
+	}
+	cw.Wait()
+	close(stop)
+	ticker.Wait()
+
+	st, err := pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := st.Node.Cold + st.Node.Warm + st.Node.Hot + st.Node.Lukewarm
+	if total != clients*perClient {
+		t.Errorf("served %d invocations, want %d", total, clients*perClient)
+	}
+}
+
+// TestPolicyClonedPerShard: each shard must get a private policy clone
+// — per-key arrival history written from N shard goroutines through
+// one shared Hybrid instance would be a data race (and wrong: another
+// shard's keys would pollute the histograms).
+func TestPolicyClonedPerShard(t *testing.T) {
+	cfg := testConfig(3)
+	hy := policy.NewHybrid()
+	cfg.Node.Policy = hy
+	pool := newTestPool(t, cfg)
+	for i := 0; i < 12; i++ {
+		if _, err := pool.InvokeSync(fmt.Sprintf("acct/fn%d", i), nopSource, "{}"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The template instance saw no traffic: every RecordInvoke landed
+	// on a shard's clone.
+	if got := hy.Keys(); got != 0 {
+		t.Errorf("shared template policy tracked %d keys, want 0 (clones must be private)", got)
+	}
+}

@@ -327,16 +327,18 @@ func (b *breaker) snapshot() (string, int64) {
 // invocation, or a control read of shard state.
 type request struct {
 	req      core.Request
-	stats    bool   // control: snapshot shard stats instead of invoking
-	flush    bool   // control: demote resident snapshots to the disk tier
-	prewarm  string // control: promote this lineage from the disk tier
-	requeues int    // times a stalled shard pushed this request back
+	stats    bool          // control: snapshot shard stats instead of invoking
+	flush    bool          // control: demote resident snapshots to the disk tier
+	prewarm  string        // control: promote this lineage from the disk tier
+	tick     bool          // control: advance the shard clock and run a reaper pass
+	advance  time.Duration // virtual time to advance before the tick
+	requeues int           // times a stalled shard pushed this request back
 	reply    chan response
 }
 
 // control reports whether the request is a control message (served
 // inside the owner goroutine, never stolen, rerouted, or stalled).
-func (r *request) control() bool { return r.stats || r.flush || r.prewarm != "" }
+func (r *request) control() bool { return r.stats || r.flush || r.prewarm != "" || r.tick }
 
 // reqPool recycles request descriptors and their reply channels across
 // invocations — the front door's only steady-state allocations
@@ -354,17 +356,20 @@ func putRequest(r *request) {
 	r.stats = false
 	r.flush = false
 	r.prewarm = ""
+	r.tick = false
+	r.advance = 0
 	r.requeues = 0
 	reqPool.Put(r)
 }
 
 type response struct {
-	res     core.Result
-	err     error
-	shard   int
-	stolen  bool
-	stats   ShardStats
-	flushed int
+	res       core.Result
+	err       error
+	shard     int
+	stolen    bool
+	stats     ShardStats
+	flushed   int
+	tickStats core.TickStats
 }
 
 // shard is one shared-nothing compute unit: engine + store + node,
@@ -492,6 +497,13 @@ func (p *Pool) hydrateShard(id int, memBytes int64, encoded map[string][]byte) (
 	// on the shard goroutine, and the caller's parent tracer still reads
 	// the merged timeline. A nil parent yields a nil child (no-op).
 	nodeCfg.Tracer = p.cfg.Node.Tracer.Child()
+	// One lifecycle policy per shard: policies accumulate per-key
+	// history (inter-arrival histograms), and sharing one instance
+	// across shard goroutines would break the shared-nothing rule. The
+	// key→shard hash keeps each key's history on one shard anyway.
+	if p.cfg.Node.Policy != nil {
+		nodeCfg.Policy = p.cfg.Node.Policy.Clone()
+	}
 	// One injector per shard, shared with its node: shard-level stalls
 	// and node-level crashes land in a single replayable per-shard
 	// trace, derived deterministically from the pool seed.
@@ -614,6 +626,24 @@ func (s *shard) serve(r *request, stolen bool) {
 		s.eng.Go("prewarm:"+r.prewarm, func(p *sim.Proc) { err = s.node.PromoteLineage(p, r.prewarm) })
 		s.eng.Run()
 		r.reply <- response{shard: s.id, err: err}
+		return
+	}
+	if r.tick {
+		// The reaper pass runs between invocations on the owner
+		// goroutine, so it observes only quiescent state — no UC is
+		// mid-invocation when its keep-alive is judged. The advance
+		// models wall-clock idle time elapsing on the shard's virtual
+		// clock (invocations advance it only by their own latencies).
+		var ts core.TickStats
+		adv := r.advance
+		s.eng.Go("policy-tick", func(p *sim.Proc) {
+			if adv > 0 {
+				p.Sleep(adv)
+			}
+			ts = s.node.PolicyTick(p)
+		})
+		s.eng.Run()
+		r.reply <- response{shard: s.id, tickStats: ts}
 		return
 	}
 
@@ -890,6 +920,39 @@ func (p *Pool) FlushSnapshots() (int, error) {
 		total += resp.flushed
 	}
 	return total, st.Sync()
+}
+
+// PolicyTick advances every shard's virtual clock by `advance` and
+// runs one lifecycle-reaper pass on each — the pool-scope heartbeat an
+// owner (a wall-clock ticker in the server, a scripted loop in an
+// experiment) drives. Fans out like Stats so one busy shard does not
+// serialize the pass; returns the aggregated TickStats. A no-op
+// returning zeros when no lifecycle policy is configured.
+func (p *Pool) PolicyTick(advance time.Duration) (core.TickStats, error) {
+	var out core.TickStats
+	if p.cfg.Node.Policy == nil {
+		return out, nil
+	}
+	reqs := make([]*request, len(p.shards))
+	for i := range p.shards {
+		r := getRequest()
+		r.tick = true
+		r.advance = advance
+		if err := p.submit(r, i); err != nil {
+			putRequest(r)
+			return out, err
+		}
+		reqs[i] = r
+	}
+	for _, r := range reqs {
+		resp, err := p.await(r)
+		if err != nil {
+			return out, err
+		}
+		putRequest(r)
+		out.Add(resp.tickStats)
+	}
+	return out, nil
 }
 
 // SnapStore returns the shared disk tier, nil when none is configured.

@@ -36,6 +36,14 @@ go test -run '^$' -count=1 \
   -bench 'BenchmarkShardedThroughput/shards=1$' \
   -benchmem ./internal/shardpool | tee -a "$RAW" >&2
 
+# Lifecycle-policy smoke (DESIGN.md §15): the reduced-scale trace run
+# asserting Hybrid's warm-hit rate is at least FixedKeepAlive's while
+# holding less resident RAM, and its p99 beats scale-to-zero. Not a
+# timing gate — the inequalities are virtual-time properties, so this
+# passes or fails identically on any machine.
+echo "== running lifecycle-policy smoke (~10s)" >&2
+go test -run 'TestPolicyTradeoffs$' -count=1 ./internal/experiments >&2
+
 python3 - "$MODE" "$BASELINE" "$RAW" <<'PY'
 import json, re, sys
 

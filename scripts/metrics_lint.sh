@@ -33,7 +33,11 @@ echo "== building seuss-node" >&2
 go build -o "$TMP/seuss-node" ./cmd/seuss-node
 
 echo "== booting on $ADDR" >&2
-"$TMP/seuss-node" -addr "$ADDR" -shards 2 >"$TMP/node.log" 2>&1 &
+# -policy fixed with a tick period far longer than the lint: the
+# keepalive histogram gets real observations from the invocations
+# below, but no reaper tick fires, so the expiration/prewarm counters
+# stay deterministically zero.
+"$TMP/seuss-node" -addr "$ADDR" -shards 2 -policy fixed -keepalive 10m -policy-tick 1h >"$TMP/node.log" 2>&1 &
 NODE_PID=$!
 
 for i in $(seq 1 50); do
@@ -188,5 +192,15 @@ require '^seuss_uc_reseeds_total{path="cold"} 1$'
 require '^seuss_uc_reseeds_total{path="warm"} 0$'
 require '^seuss_uc_reseeds_total{path="lukewarm"} 0$'
 require '^seuss_uc_reseeds_total{path="kit"} 0$'
+# Lifecycle-policy families (DESIGN.md §15): the boot above arms
+# -policy fixed -keepalive 10m, so both invocations observe a 600 s
+# window; the reaper period outlives the lint, so nothing expires or
+# prewarms.
+require '^seuss_policy_expirations_total 0$'
+require '^seuss_policy_prewarms_total{outcome="promoted"} 0$'
+require '^seuss_policy_prewarms_total{outcome="miss"} 0$'
+require '^seuss_policy_prewarms_total{outcome="misfire"} 0$'
+require '^seuss_policy_keepalive_seconds_bucket{le="600"} 2$'
+require '^seuss_policy_keepalive_seconds_count 2$'
 
 echo "OK: /metrics exposition is well-formed" >&2

@@ -37,6 +37,7 @@ import (
 	"seuss/internal/faas"
 	"seuss/internal/fault"
 	"seuss/internal/metrics"
+	"seuss/internal/policy"
 	"seuss/internal/sched"
 	"seuss/internal/shardpool"
 	"seuss/internal/sim"
@@ -211,6 +212,14 @@ type NodeStats struct {
 	SnapshotsDemoted   int64
 	SnapshotsPromoted  int64
 	SnapshotsPrewarmed int64
+	// Lifecycle-policy activity: keep-alive expirations (idle UCs
+	// destroyed plus lineages scaled to zero), predicted prewarms that
+	// promoted, predictions that missed (tier no longer held the
+	// lineage), and fault-injected misfire promotions.
+	PolicyExpirations     int64
+	PolicyPrewarms        int64
+	PolicyPrewarmMisses   int64
+	PolicyPrewarmMisfires int64
 	// WorkingSet is the lukewarm record/replay ledger: sidecar records
 	// written, drift-merged, and dropped corrupt, plus pages
 	// bulk-prefetched and how well records covered real invocations.
@@ -271,12 +280,26 @@ func (n *Node) Stats() NodeStats {
 		MemoryUsedBytes:    n.node.MemStats().BytesInUse,
 		TierHits:           st.TierHits,
 		TierMisses:         st.TierMisses,
-		SnapshotsDemoted:   st.SnapshotsDemoted,
-		SnapshotsPromoted:  st.SnapshotsPromoted,
-		SnapshotsPrewarmed: st.SnapshotsPrewarmed,
-		WorkingSet:         workingSetOf(st),
-		Robustness:         robustnessOf(st),
+		SnapshotsDemoted:      st.SnapshotsDemoted,
+		SnapshotsPromoted:     st.SnapshotsPromoted,
+		SnapshotsPrewarmed:    st.SnapshotsPrewarmed,
+		PolicyExpirations:     st.PolicyExpirations,
+		PolicyPrewarms:        st.PolicyPrewarms,
+		PolicyPrewarmMisses:   st.PolicyPrewarmMisses,
+		PolicyPrewarmMisfires: st.PolicyPrewarmMisfires,
+		WorkingSet:            workingSetOf(st),
+		Robustness:            robustnessOf(st),
 	}
+}
+
+// PolicyTick runs one lifecycle-reaper pass over the node at the
+// current virtual instant: idle UCs past their keep-alive are
+// destroyed, idle lineages past their snapshot window scale to zero
+// (demote to the disk tier), and predicted recurrences prewarm back.
+// A no-op without NodeConfig.Policy. Drive it from a Spawned task that
+// sleeps between passes.
+func (n *Node) PolicyTick(t *Task) LifecycleTickStats {
+	return n.node.PolicyTick(t.p)
 }
 
 // Core exposes the underlying node for advanced use (experiments,
@@ -441,11 +464,15 @@ func (p *NodePool) Stats() (PoolStats, error) {
 			MemoryUsedBytes:    st.MemoryUsedBytes,
 			TierHits:           st.Node.TierHits,
 			TierMisses:         st.Node.TierMisses,
-			SnapshotsDemoted:   st.Node.SnapshotsDemoted,
-			SnapshotsPromoted:  st.Node.SnapshotsPromoted,
-			SnapshotsPrewarmed: st.Node.SnapshotsPrewarmed,
-			WorkingSet:         workingSetOf(st.Node),
-			Robustness:         rob,
+			SnapshotsDemoted:      st.Node.SnapshotsDemoted,
+			SnapshotsPromoted:     st.Node.SnapshotsPromoted,
+			SnapshotsPrewarmed:    st.Node.SnapshotsPrewarmed,
+			PolicyExpirations:     st.Node.PolicyExpirations,
+			PolicyPrewarms:        st.Node.PolicyPrewarms,
+			PolicyPrewarmMisses:   st.Node.PolicyPrewarmMisses,
+			PolicyPrewarmMisfires: st.Node.PolicyPrewarmMisfires,
+			WorkingSet:            workingSetOf(st.Node),
+			Robustness:            rob,
 		},
 		Stolen:   st.Stolen,
 		Requeued: st.Requeued,
@@ -481,11 +508,56 @@ func (p *NodePool) FlushSnapshots() (int, error) { return p.pool.FlushSnapshots(
 // nil if the pool runs memory-only.
 func (p *NodePool) SnapshotStore() *SnapshotStore { return p.pool.SnapStore() }
 
+// PolicyTick advances every shard's virtual clock by advance and runs
+// one lifecycle-reaper pass on each (see Node.PolicyTick), returning
+// the aggregate. Drive it from a wall-clock ticker: invocations only
+// advance a shard's virtual clock by their own latencies, so idle time
+// must be modelled explicitly for keep-alive windows to lapse. A
+// no-op without PoolConfig.Node.Policy.
+func (p *NodePool) PolicyTick(advance time.Duration) (LifecycleTickStats, error) {
+	return p.pool.PolicyTick(advance)
+}
+
 // Pool exposes the underlying shard pool for advanced use.
 func (p *NodePool) Pool() *shardpool.Pool { return p.pool }
 
 // Close stops the shard goroutines; quiesce callers first.
 func (p *NodePool) Close() { p.pool.Close() }
+
+// ---- Lifecycle policy ----
+
+// LifecyclePolicy decides per-function keep-alive, scale-to-zero, and
+// predictive prewarm. Attach one via NodeConfig.Policy (each shard or
+// cluster member gets a private clone) and drive the reaper with
+// Node.PolicyTick / NodePool.PolicyTick. Implementations: NoKeepAlive
+// (scale to zero immediately), FixedKeepAlive (one fixed window for
+// everything, the classic 10-minute baseline), Hybrid (per-function
+// inter-arrival histograms choose both the window and a prewarm
+// instant).
+type LifecyclePolicy = policy.Policy
+
+// NoKeepAlive scales every function to zero the moment it goes idle.
+type NoKeepAlive = policy.NoKeepAlive
+
+// FixedKeepAlive keeps every idle function alive for one fixed window.
+type FixedKeepAlive = policy.FixedKeepAlive
+
+// HybridPolicy is the histogram-driven adaptive policy.
+type HybridPolicy = policy.Hybrid
+
+// LifecycleTickStats summarizes one reaper pass.
+type LifecycleTickStats = core.TickStats
+
+// NewLifecyclePolicy builds a policy from its flag spelling: "none",
+// "fixed", or "hybrid". keepalive overrides the fixed window (or the
+// hybrid policy's maximum); 0 keeps the default. An empty name returns
+// nil (lifecycle management disabled).
+func NewLifecyclePolicy(name string, keepalive time.Duration) (LifecyclePolicy, error) {
+	return policy.New(name, keepalive)
+}
+
+// NewHybridPolicy returns the adaptive policy at its defaults.
+func NewHybridPolicy() *HybridPolicy { return policy.NewHybrid() }
 
 // ---- Snapshot disk tier ----
 
